@@ -1,0 +1,77 @@
+// Package exact is the ground-truth query engine: it answers the counting
+// and group-by queries of the evaluation by scanning the full relation. The
+// experiment harness scores every approximate estimator (the MaxEnt summary
+// and the sampling baselines) against this engine.
+package exact
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Engine answers queries exactly against a full relation.
+type Engine struct {
+	rel *relation.Relation
+}
+
+// New creates an exact engine over the relation.
+func New(rel *relation.Relation) *Engine {
+	return &Engine{rel: rel}
+}
+
+// Relation returns the underlying relation.
+func (e *Engine) Relation() *relation.Relation { return e.rel }
+
+// Count returns the exact COUNT(*) of rows satisfying the predicate.
+func (e *Engine) Count(pred *query.Predicate) float64 {
+	return float64(e.rel.Count(pred))
+}
+
+// TimedCount returns the exact count together with the scan latency; the
+// scalability experiment (Fig. 7) reports runtime shapes.
+func (e *Engine) TimedCount(pred *query.Predicate) (float64, time.Duration) {
+	start := time.Now()
+	c := e.Count(pred)
+	return c, time.Since(start)
+}
+
+// Group is one row of a group-by result.
+type Group struct {
+	// Values are the encoded values of the grouping attributes.
+	Values []int
+	// Count is the exact COUNT(*) of the group.
+	Count float64
+}
+
+// GroupBy returns the exact COUNT(*) per combination of values of the
+// grouping attributes among rows satisfying pred (pred may be nil). Groups
+// are returned in descending count order with deterministic tie-breaking.
+func (e *Engine) GroupBy(groupAttrs []int, pred *query.Predicate) []Group {
+	counts := e.rel.GroupCounts(groupAttrs, pred)
+	out := make([]Group, 0, len(counts))
+	for key, c := range counts {
+		out = append(out, Group{Values: key.Values(len(groupAttrs)), Count: float64(c)})
+	}
+	sortGroups(out)
+	return out
+}
+
+// sortGroups orders groups descending by count, then lexicographically by
+// values, for deterministic output.
+func sortGroups(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Count != groups[j].Count {
+			return groups[i].Count > groups[j].Count
+		}
+		a, b := groups[i].Values, groups[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

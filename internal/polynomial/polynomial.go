@@ -1,0 +1,312 @@
+// Package polynomial implements the factorized MaxEnt polynomial P of the
+// EntropyDB summary (Lemma 3.1 and Theorem 4.1 of the paper).
+//
+// The uncompressed polynomial has one monomial per possible tuple, which is
+// far too large to materialize. The compressed representation built here has
+// one term per compatible set S of multi-dimensional statistics (plus the
+// base term S = ∅), where each term is a product of per-attribute sums of
+// 1-dimensional variables and of (δ_j − 1) factors — exactly the
+// inclusion/exclusion form of Theorem 4.1.
+//
+// The package provides:
+//
+//   - Compressed: the structural representation (terms), built from the
+//     multi-dimensional statistic specifications.
+//   - System: a Compressed polynomial together with concrete variable values
+//     (α for 1D statistics, δ for multi-dimensional statistics), supporting
+//     masked evaluation (Sec. 4.2: "set the non-qualifying 1D variables to
+//     0") and analytic partial derivatives.
+//   - Naive: a brute-force reference that enumerates the tuple space, used
+//     by tests to validate the compression and the query-answering formulas.
+package polynomial
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// VarKind distinguishes the two families of polynomial variables.
+type VarKind int
+
+const (
+	// OneD is an α variable attached to a complete 1-dimensional statistic
+	// (A_i = v).
+	OneD VarKind = iota
+	// Multi is a δ variable attached to a multi-dimensional range statistic.
+	Multi
+)
+
+// VarRef identifies a single polynomial variable.
+type VarRef struct {
+	Kind  VarKind
+	Attr  int // OneD: attribute index
+	Value int // OneD: encoded domain value
+	Stat  int // Multi: index of the multi-dimensional statistic
+}
+
+// String renders the variable reference.
+func (v VarRef) String() string {
+	if v.Kind == OneD {
+		return fmt.Sprintf("α[%d,%d]", v.Attr, v.Value)
+	}
+	return fmt.Sprintf("δ[%d]", v.Stat)
+}
+
+// MultiStatSpec is the structural part of a multi-dimensional statistic: a
+// conjunction of per-attribute inclusive ranges over a subset of attributes.
+type MultiStatSpec struct {
+	Attrs  []int         // sorted attribute indexes
+	Ranges []query.Range // aligned with Attrs
+}
+
+// Validate checks structural invariants of the specification.
+func (s MultiStatSpec) Validate(domainSizes []int) error {
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("polynomial: multi-dimensional statistic needs at least one attribute")
+	}
+	if len(s.Attrs) != len(s.Ranges) {
+		return fmt.Errorf("polynomial: %d attributes but %d ranges", len(s.Attrs), len(s.Ranges))
+	}
+	if !sort.IntsAreSorted(s.Attrs) {
+		return fmt.Errorf("polynomial: statistic attributes must be sorted, got %v", s.Attrs)
+	}
+	for i := 1; i < len(s.Attrs); i++ {
+		if s.Attrs[i] == s.Attrs[i-1] {
+			return fmt.Errorf("polynomial: duplicate attribute %d in statistic", s.Attrs[i])
+		}
+	}
+	for k, a := range s.Attrs {
+		if a < 0 || a >= len(domainSizes) {
+			return fmt.Errorf("polynomial: attribute index %d out of range [0,%d)", a, len(domainSizes))
+		}
+		r := s.Ranges[k]
+		if r.Empty() || r.Lo < 0 || r.Hi >= domainSizes[a] {
+			return fmt.Errorf("polynomial: range %v out of domain [0,%d) for attribute %d", r, domainSizes[a], a)
+		}
+	}
+	return nil
+}
+
+// rangeOn returns the statistic's range on attribute a and whether the
+// statistic constrains a.
+func (s MultiStatSpec) rangeOn(a int) (query.Range, bool) {
+	i := sort.SearchInts(s.Attrs, a)
+	if i < len(s.Attrs) && s.Attrs[i] == a {
+		return s.Ranges[i], true
+	}
+	return query.Range{}, false
+}
+
+// term is one summand of the compressed polynomial: the set I of attributes
+// covered by the statistics in S, the intersected per-attribute ranges ρ_iS,
+// and the statistic indexes S themselves. The base term has empty attrs and
+// stats.
+type term struct {
+	attrs  []int         // sorted attribute indexes in I
+	ranges []query.Range // aligned with attrs: the intersection ρ_iS
+	stats  []int         // sorted multi-statistic indexes in S
+}
+
+func (t term) key() string {
+	parts := make([]string, len(t.stats))
+	for i, s := range t.stats {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Compressed is the factorized polynomial structure. It depends only on the
+// domain sizes and the multi-dimensional statistic specifications, not on
+// the variable values.
+type Compressed struct {
+	sizes []int
+	specs []MultiStatSpec
+	terms []term
+}
+
+// NewCompressed builds the compressed polynomial for the given active-domain
+// sizes and multi-dimensional statistics, closing the statistic sets under
+// compatible combination exactly as described after Theorem 4.1.
+func NewCompressed(domainSizes []int, specs []MultiStatSpec) (*Compressed, error) {
+	sizes := append([]int(nil), domainSizes...)
+	for i, n := range sizes {
+		if n <= 0 {
+			return nil, fmt.Errorf("polynomial: attribute %d has non-positive domain size %d", i, n)
+		}
+	}
+	for i, s := range specs {
+		if err := s.Validate(sizes); err != nil {
+			return nil, fmt.Errorf("statistic %d: %w", i, err)
+		}
+	}
+	c := &Compressed{sizes: sizes, specs: append([]MultiStatSpec(nil), specs...)}
+	c.buildTerms()
+	return c, nil
+}
+
+// buildTerms seeds with the base term and one singleton term per statistic,
+// then repeatedly combines compatible terms until a fixpoint.
+func (c *Compressed) buildTerms() {
+	seen := make(map[string]struct{})
+	base := term{}
+	c.terms = []term{base}
+	seen[base.key()] = struct{}{}
+
+	frontier := make([]term, 0, len(c.specs))
+	for j, spec := range c.specs {
+		t := term{
+			attrs:  append([]int(nil), spec.Attrs...),
+			ranges: append([]query.Range(nil), spec.Ranges...),
+			stats:  []int{j},
+		}
+		c.terms = append(c.terms, t)
+		seen[t.key()] = struct{}{}
+		frontier = append(frontier, t)
+	}
+
+	// Combine existing terms with singleton statistics until no new
+	// compatible sets appear. Because every compatible set can be built by
+	// adding one statistic at a time to a compatible subset, pairing the
+	// frontier against singletons is sufficient to enumerate them all.
+	for len(frontier) > 0 {
+		var next []term
+		for _, t := range frontier {
+			for j := range c.specs {
+				nt, ok := c.combine(t, j)
+				if !ok {
+					continue
+				}
+				k := nt.key()
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				c.terms = append(c.terms, nt)
+				next = append(next, nt)
+			}
+		}
+		frontier = next
+	}
+
+	sort.Slice(c.terms, func(i, k int) bool {
+		ti, tk := c.terms[i], c.terms[k]
+		if len(ti.stats) != len(tk.stats) {
+			return len(ti.stats) < len(tk.stats)
+		}
+		return ti.key() < tk.key()
+	})
+}
+
+// combine extends term t with statistic j. It returns false when j is
+// already in t or when the combined per-attribute projections have an empty
+// intersection (ρ_iS ≡ false for some attribute).
+func (c *Compressed) combine(t term, j int) (term, bool) {
+	for _, s := range t.stats {
+		if s == j {
+			return term{}, false
+		}
+	}
+	spec := c.specs[j]
+	attrs := append([]int(nil), t.attrs...)
+	ranges := append([]query.Range(nil), t.ranges...)
+	for k, a := range spec.Attrs {
+		r := spec.Ranges[k]
+		pos := sort.SearchInts(attrs, a)
+		if pos < len(attrs) && attrs[pos] == a {
+			inter := ranges[pos].Intersect(r)
+			if inter.Empty() {
+				return term{}, false
+			}
+			ranges[pos] = inter
+			continue
+		}
+		attrs = append(attrs, 0)
+		ranges = append(ranges, query.Range{})
+		copy(attrs[pos+1:], attrs[pos:])
+		copy(ranges[pos+1:], ranges[pos:])
+		attrs[pos] = a
+		ranges[pos] = r
+	}
+	stats := append(append([]int(nil), t.stats...), j)
+	sort.Ints(stats)
+	return term{attrs: attrs, ranges: ranges, stats: stats}, true
+}
+
+// NumAttrs returns the number of attributes m.
+func (c *Compressed) NumAttrs() int { return len(c.sizes) }
+
+// DomainSizes returns a copy of [N_1, ..., N_m].
+func (c *Compressed) DomainSizes() []int { return append([]int(nil), c.sizes...) }
+
+// NumMultiStats returns the number of multi-dimensional statistics.
+func (c *Compressed) NumMultiStats() int { return len(c.specs) }
+
+// MultiStat returns the j-th multi-dimensional statistic specification.
+func (c *Compressed) MultiStat(j int) MultiStatSpec { return c.specs[j] }
+
+// NumTerms returns the number of terms of the compressed representation
+// (including the base term).
+func (c *Compressed) NumTerms() int { return len(c.terms) }
+
+// SizeReport summarizes the memory shape of the representation, mirroring
+// the size analysis of Sec. 4.1.
+type SizeReport struct {
+	// Terms is the number of summands of the compressed polynomial
+	// (including the base term for S = ∅).
+	Terms int
+	// CompressedFactors counts the 1D-variable slots referenced by the
+	// compressed form: for every term, the sizes of the per-attribute sums
+	// it touches plus one slot per (δ_j − 1) factor. This is the quantity
+	// the paper compares against the uncompressed monomial count.
+	CompressedFactors int64
+	// OneDVariables is Σ_i N_i, the number of α variables.
+	OneDVariables int
+	// MultiVariables is the number of δ variables.
+	MultiVariables int
+	// UncompressedMonomials is Π_i N_i, the number of monomials of the
+	// sum-of-products form (saturating at 2^62).
+	UncompressedMonomials int64
+}
+
+// Size computes the SizeReport for the polynomial.
+func (c *Compressed) Size() SizeReport {
+	var rep SizeReport
+	rep.Terms = len(c.terms)
+	for _, n := range c.sizes {
+		rep.OneDVariables += n
+	}
+	rep.MultiVariables = len(c.specs)
+	d := int64(1)
+	for _, n := range c.sizes {
+		nn := int64(n)
+		if d > (1<<62)/nn {
+			d = 1 << 62
+			break
+		}
+		d *= nn
+	}
+	rep.UncompressedMonomials = d
+	for _, t := range c.terms {
+		inTerm := make(map[int]query.Range, len(t.attrs))
+		for k, a := range t.attrs {
+			inTerm[a] = t.ranges[k]
+		}
+		for a, n := range c.sizes {
+			if r, ok := inTerm[a]; ok {
+				rep.CompressedFactors += int64(r.Len())
+			} else {
+				rep.CompressedFactors += int64(n)
+			}
+		}
+		rep.CompressedFactors += int64(len(t.stats))
+	}
+	return rep
+}
+
+// String renders a compact structural description of the polynomial.
+func (c *Compressed) String() string {
+	return fmt.Sprintf("P{m=%d, multiStats=%d, terms=%d}", len(c.sizes), len(c.specs), len(c.terms))
+}

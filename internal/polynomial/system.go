@@ -1,0 +1,371 @@
+package polynomial
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// System couples a Compressed polynomial structure with concrete variable
+// values: α values for the complete 1-dimensional statistics and δ values
+// for the multi-dimensional statistics. It supports masked evaluation and
+// analytic partial derivatives, both computed in a single pass over the
+// compressed terms.
+//
+// A System is not safe for concurrent mutation; concurrent read-only use
+// (Eval/Deriv with no SetVar in between) is safe.
+type System struct {
+	poly   *Compressed
+	alpha  [][]float64 // per attribute, per domain value
+	delta  []float64   // per multi-dimensional statistic
+	prefix [][]float64 // per attribute: prefix sums of alpha (len N_i + 1)
+	dirty  []bool      // per attribute: prefix sums need rebuilding
+}
+
+// NewSystem creates a System over the polynomial with every variable
+// initialized to 1 (the uniform starting point used by the solver).
+func NewSystem(poly *Compressed) *System {
+	s := &System{poly: poly}
+	s.alpha = make([][]float64, len(poly.sizes))
+	s.prefix = make([][]float64, len(poly.sizes))
+	s.dirty = make([]bool, len(poly.sizes))
+	for i, n := range poly.sizes {
+		s.alpha[i] = make([]float64, n)
+		for v := range s.alpha[i] {
+			s.alpha[i][v] = 1
+		}
+		s.prefix[i] = make([]float64, n+1)
+		s.dirty[i] = true
+	}
+	s.delta = make([]float64, len(poly.specs))
+	for j := range s.delta {
+		s.delta[j] = 1
+	}
+	return s
+}
+
+// Poly returns the underlying compressed polynomial structure.
+func (s *System) Poly() *Compressed { return s.poly }
+
+// OneD returns the value of α_{attr,value}.
+func (s *System) OneD(attr, value int) float64 { return s.alpha[attr][value] }
+
+// MultiVar returns the value of δ_stat.
+func (s *System) MultiVar(stat int) float64 { return s.delta[stat] }
+
+// SetOneD assigns α_{attr,value}.
+func (s *System) SetOneD(attr, value int, x float64) {
+	s.alpha[attr][value] = x
+	s.dirty[attr] = true
+}
+
+// SetMulti assigns δ_stat.
+func (s *System) SetMulti(stat int, x float64) { s.delta[stat] = x }
+
+// Get returns the value of the referenced variable.
+func (s *System) Get(v VarRef) float64 {
+	if v.Kind == OneD {
+		return s.alpha[v.Attr][v.Value]
+	}
+	return s.delta[v.Stat]
+}
+
+// Set assigns the referenced variable.
+func (s *System) Set(v VarRef, x float64) {
+	if v.Kind == OneD {
+		s.SetOneD(v.Attr, v.Value, x)
+		return
+	}
+	s.SetMulti(v.Stat, x)
+}
+
+// Clone returns a deep copy of the system (sharing the immutable Compressed
+// structure).
+func (s *System) Clone() *System {
+	c := &System{poly: s.poly}
+	c.alpha = make([][]float64, len(s.alpha))
+	c.prefix = make([][]float64, len(s.prefix))
+	c.dirty = make([]bool, len(s.dirty))
+	for i := range s.alpha {
+		c.alpha[i] = append([]float64(nil), s.alpha[i]...)
+		c.prefix[i] = make([]float64, len(s.prefix[i]))
+		c.dirty[i] = true
+	}
+	c.delta = append([]float64(nil), s.delta...)
+	return c
+}
+
+// Variables returns references to every variable of the system: all α
+// variables in attribute-then-value order followed by all δ variables.
+func (s *System) Variables() []VarRef {
+	var out []VarRef
+	for a := range s.alpha {
+		for v := range s.alpha[a] {
+			out = append(out, VarRef{Kind: OneD, Attr: a, Value: v})
+		}
+	}
+	for j := range s.delta {
+		out = append(out, VarRef{Kind: Multi, Stat: j})
+	}
+	return out
+}
+
+func (s *System) refresh(attr int) {
+	if !s.dirty[attr] {
+		return
+	}
+	p := s.prefix[attr]
+	p[0] = 0
+	col := s.alpha[attr]
+	for v, x := range col {
+		p[v+1] = p[v] + x
+	}
+	s.dirty[attr] = false
+}
+
+func (s *System) refreshAll() {
+	for a := range s.alpha {
+		s.refresh(a)
+	}
+}
+
+// rangeSum returns Σ_{v ∈ [lo,hi]} α_{attr,v} using the prefix cache. The
+// range is clipped to the domain.
+func (s *System) rangeSum(attr int, r query.Range) float64 {
+	if r.Empty() {
+		return 0
+	}
+	lo, hi := r.Lo, r.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s.alpha[attr]) {
+		hi = len(s.alpha[attr]) - 1
+	}
+	if hi < lo {
+		return 0
+	}
+	p := s.prefix[attr]
+	return p[hi+1] - p[lo]
+}
+
+// maskedSum returns the sum of α_{attr,v} over values v that lie in the
+// given range and satisfy the constraint.
+func (s *System) maskedSum(attr int, r query.Range, c query.Constraint) float64 {
+	switch c.Kind {
+	case query.Any:
+		return s.rangeSum(attr, r)
+	case query.InRange:
+		return s.rangeSum(attr, r.Intersect(c.Range))
+	case query.InSet:
+		sum := 0.0
+		col := s.alpha[attr]
+		for _, v := range c.Values {
+			if v >= 0 && v < len(col) && r.Contains(v) {
+				sum += col[v]
+			}
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+func fullRange(n int) query.Range { return query.Range{Lo: 0, Hi: n - 1} }
+
+// constraintFor extracts the per-attribute constraint from the predicate
+// (Any when the predicate is nil).
+func constraintFor(pred *query.Predicate, attr int) query.Constraint {
+	if pred == nil {
+		return query.AnyValue()
+	}
+	return pred.Constraint(attr)
+}
+
+// Eval computes P with every 1D variable that does not satisfy the
+// predicate's per-attribute constraint set to 0 (Sec. 4.2). A nil predicate
+// evaluates the full polynomial P.
+func (s *System) Eval(pred *query.Predicate) float64 {
+	s.refreshAll()
+	total := 0.0
+	m := len(s.alpha)
+	// Per-attribute constraints are extracted once per call.
+	cons := make([]query.Constraint, m)
+	for a := 0; a < m; a++ {
+		cons[a] = constraintFor(pred, a)
+	}
+	for _, t := range s.poly.terms {
+		total += s.evalTerm(t, cons)
+	}
+	return total
+}
+
+// evalTerm computes one summand under the per-attribute constraints.
+func (s *System) evalTerm(t term, cons []query.Constraint) float64 {
+	v := 1.0
+	k := 0
+	for a := range s.alpha {
+		var r query.Range
+		if k < len(t.attrs) && t.attrs[k] == a {
+			r = t.ranges[k]
+			k++
+		} else {
+			r = fullRange(len(s.alpha[a]))
+		}
+		f := s.maskedSum(a, r, cons[a])
+		if f == 0 {
+			return 0
+		}
+		v *= f
+	}
+	for _, j := range t.stats {
+		v *= s.delta[j] - 1
+	}
+	return v
+}
+
+// Deriv computes the partial derivative of the (masked) polynomial with
+// respect to the referenced variable. Because P is multi-linear, the
+// derivative is the sum over terms of the product of all other factors.
+func (s *System) Deriv(ref VarRef, pred *query.Predicate) float64 {
+	s.refreshAll()
+	m := len(s.alpha)
+	cons := make([]query.Constraint, m)
+	for a := 0; a < m; a++ {
+		cons[a] = constraintFor(pred, a)
+	}
+	switch ref.Kind {
+	case OneD:
+		return s.derivOneD(ref.Attr, ref.Value, cons)
+	case Multi:
+		return s.derivMulti(ref.Stat, cons)
+	default:
+		panic(fmt.Sprintf("polynomial: unknown variable kind %d", ref.Kind))
+	}
+}
+
+func (s *System) derivOneD(attr, value int, cons []query.Constraint) float64 {
+	// If the mask excludes the value, the variable does not occur in the
+	// masked polynomial at all.
+	if !cons[attr].Matches(value) {
+		return 0
+	}
+	total := 0.0
+	for _, t := range s.poly.terms {
+		prod := 1.0
+		k := 0
+		skip := false
+		for a := range s.alpha {
+			var r query.Range
+			if k < len(t.attrs) && t.attrs[k] == a {
+				r = t.ranges[k]
+				k++
+			} else {
+				r = fullRange(len(s.alpha[a]))
+			}
+			if a == attr {
+				// The factor for the differentiated attribute becomes the
+				// indicator that the value lies in the term's range.
+				if !r.Contains(value) {
+					skip = true
+					break
+				}
+				continue
+			}
+			f := s.maskedSum(a, r, cons[a])
+			if f == 0 {
+				skip = true
+				break
+			}
+			prod *= f
+		}
+		if skip {
+			continue
+		}
+		for _, j := range t.stats {
+			prod *= s.delta[j] - 1
+		}
+		total += prod
+	}
+	return total
+}
+
+func (s *System) derivMulti(stat int, cons []query.Constraint) float64 {
+	total := 0.0
+	for _, t := range s.poly.terms {
+		contains := false
+		for _, j := range t.stats {
+			if j == stat {
+				contains = true
+				break
+			}
+		}
+		if !contains {
+			continue
+		}
+		prod := 1.0
+		k := 0
+		skip := false
+		for a := range s.alpha {
+			var r query.Range
+			if k < len(t.attrs) && t.attrs[k] == a {
+				r = t.ranges[k]
+				k++
+			} else {
+				r = fullRange(len(s.alpha[a]))
+			}
+			f := s.maskedSum(a, r, cons[a])
+			if f == 0 {
+				skip = true
+				break
+			}
+			prod *= f
+		}
+		if skip {
+			continue
+		}
+		for _, j := range t.stats {
+			if j == stat {
+				continue
+			}
+			prod *= s.delta[j] - 1
+		}
+		total += prod
+	}
+	return total
+}
+
+// Expectation returns E[⟨c,I⟩] = n · x · ∂P/∂x / P for the statistic whose
+// variable is ref (Eq. (8)), given the relation cardinality n and the
+// current full polynomial value p (p must equal Eval(nil)).
+func (s *System) Expectation(ref VarRef, n, p float64) float64 {
+	if p == 0 {
+		return 0
+	}
+	return n * s.Get(ref) * s.Deriv(ref, nil) / p
+}
+
+// TupleWeight returns the monomial value of a single encoded tuple under the
+// current variable assignment: Π_i α_{i,t_i} · Π_{j: t ⊨ stat_j} δ_j. The
+// tuple probability is TupleWeight(t) / Eval(nil).
+func (s *System) TupleWeight(tuple []int) float64 {
+	w := 1.0
+	for a, v := range tuple {
+		w *= s.alpha[a][v]
+	}
+	for j, spec := range s.poly.specs {
+		if specMatches(spec, tuple) {
+			w *= s.delta[j]
+		}
+	}
+	return w
+}
+
+func specMatches(spec MultiStatSpec, tuple []int) bool {
+	for k, a := range spec.Attrs {
+		if !spec.Ranges[k].Contains(tuple[a]) {
+			return false
+		}
+	}
+	return true
+}

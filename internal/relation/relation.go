@@ -1,0 +1,272 @@
+// Package relation implements the in-memory columnar store for a single
+// encoded relation: an ordered bag of tuples over the active domains of a
+// schema (the "slotted possible world" of Sec. 2.1). It also provides the
+// counting primitives (selection counts, group-by counts, 2D histograms and
+// frequency vectors) that the statistics subsystem, the exact ground-truth
+// engine, and the sampling baselines are built on.
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Relation is an ordered bag of encoded tuples stored column-major. Each
+// column value is the index of the tuple's value in the attribute's active
+// domain.
+type Relation struct {
+	sch  *schema.Schema
+	cols [][]int32
+	rows int
+}
+
+// New creates an empty relation over the given schema.
+func New(sch *schema.Schema) *Relation {
+	cols := make([][]int32, sch.NumAttrs())
+	return &Relation{sch: sch, cols: cols}
+}
+
+// NewWithCapacity creates an empty relation with storage preallocated for n
+// rows.
+func NewWithCapacity(sch *schema.Schema, n int) *Relation {
+	r := New(sch)
+	for i := range r.cols {
+		r.cols[i] = make([]int32, 0, n)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *schema.Schema { return r.sch }
+
+// NumRows returns the cardinality n of the relation.
+func (r *Relation) NumRows() int { return r.rows }
+
+// NumAttrs returns the arity m of the relation.
+func (r *Relation) NumAttrs() int { return r.sch.NumAttrs() }
+
+// Append adds one encoded tuple. The tuple length must equal the arity and
+// every value must lie inside its attribute's active domain.
+func (r *Relation) Append(tuple []int) error {
+	if len(tuple) != r.sch.NumAttrs() {
+		return fmt.Errorf("relation: tuple has %d values, schema has %d attributes", len(tuple), r.sch.NumAttrs())
+	}
+	for i, v := range tuple {
+		if v < 0 || v >= r.sch.Attr(i).Size() {
+			return fmt.Errorf("relation: value %d out of domain [0,%d) for attribute %q",
+				v, r.sch.Attr(i).Size(), r.sch.Attr(i).Name())
+		}
+	}
+	for i, v := range tuple {
+		r.cols[i] = append(r.cols[i], int32(v))
+	}
+	r.rows++
+	return nil
+}
+
+// MustAppend is like Append but panics on error. Generators use it for
+// tuples they constructed themselves.
+func (r *Relation) MustAppend(tuple []int) {
+	if err := r.Append(tuple); err != nil {
+		panic(err)
+	}
+}
+
+// Value returns the encoded value of attribute attr in row i.
+func (r *Relation) Value(row, attr int) int { return int(r.cols[attr][row]) }
+
+// Row copies row i into dst (allocating when dst is too small) and returns
+// it.
+func (r *Relation) Row(i int, dst []int) []int {
+	m := r.sch.NumAttrs()
+	if cap(dst) < m {
+		dst = make([]int, m)
+	}
+	dst = dst[:m]
+	for a := 0; a < m; a++ {
+		dst[a] = int(r.cols[a][i])
+	}
+	return dst
+}
+
+// Column returns a read-only view of the encoded values of one attribute.
+// Callers must not modify the returned slice.
+func (r *Relation) Column(attr int) []int32 { return r.cols[attr] }
+
+// Count returns |σ_π(I)|, the number of rows satisfying the predicate.
+func (r *Relation) Count(pred *query.Predicate) int {
+	if pred == nil {
+		return r.rows
+	}
+	attrs := pred.ConstrainedAttrs()
+	if len(attrs) == 0 {
+		return r.rows
+	}
+	count := 0
+	constraints := make([]query.Constraint, len(attrs))
+	for k, a := range attrs {
+		constraints[k] = pred.Constraint(a)
+	}
+rows:
+	for i := 0; i < r.rows; i++ {
+		for k, a := range attrs {
+			if !constraints[k].Matches(int(r.cols[a][i])) {
+				continue rows
+			}
+		}
+		count++
+	}
+	return count
+}
+
+// GroupKey identifies one group in a group-by count; it is the tuple of
+// encoded values of the grouping attributes, in the order they were given.
+type GroupKey [4]int32
+
+// MakeGroupKey packs up to four encoded values into a GroupKey.
+func MakeGroupKey(values []int) GroupKey {
+	var k GroupKey
+	for i := range k {
+		k[i] = -1
+	}
+	for i, v := range values {
+		if i >= len(k) {
+			panic("relation: group-by supports at most 4 attributes")
+		}
+		k[i] = int32(v)
+	}
+	return k
+}
+
+// Values unpacks the first n values of the key.
+func (k GroupKey) Values(n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = int(k[i])
+	}
+	return out
+}
+
+// GroupCounts returns the exact COUNT(*) per combination of values of the
+// grouping attributes among rows satisfying pred (pred may be nil). At most
+// four grouping attributes are supported, matching the paper's 2–4D
+// selection templates.
+func (r *Relation) GroupCounts(groupAttrs []int, pred *query.Predicate) map[GroupKey]int {
+	if len(groupAttrs) == 0 || len(groupAttrs) > 4 {
+		panic(fmt.Sprintf("relation: group-by needs 1..4 attributes, got %d", len(groupAttrs)))
+	}
+	out := make(map[GroupKey]int)
+	var predAttrs []int
+	var constraints []query.Constraint
+	if pred != nil {
+		predAttrs = pred.ConstrainedAttrs()
+		constraints = make([]query.Constraint, len(predAttrs))
+		for k, a := range predAttrs {
+			constraints[k] = pred.Constraint(a)
+		}
+	}
+	vals := make([]int, len(groupAttrs))
+rows:
+	for i := 0; i < r.rows; i++ {
+		for k, a := range predAttrs {
+			if !constraints[k].Matches(int(r.cols[a][i])) {
+				continue rows
+			}
+		}
+		for k, a := range groupAttrs {
+			vals[k] = int(r.cols[a][i])
+		}
+		out[MakeGroupKey(vals)]++
+	}
+	return out
+}
+
+// Histogram1D returns the per-value counts of a single attribute.
+func (r *Relation) Histogram1D(attr int) []int {
+	n := r.sch.Attr(attr).Size()
+	out := make([]int, n)
+	for _, v := range r.cols[attr] {
+		out[v]++
+	}
+	return out
+}
+
+// Histogram2D returns the joint count matrix counts[v1][v2] of the attribute
+// pair (a1, a2).
+func (r *Relation) Histogram2D(a1, a2 int) [][]int {
+	n1 := r.sch.Attr(a1).Size()
+	n2 := r.sch.Attr(a2).Size()
+	out := make([][]int, n1)
+	flat := make([]int, n1*n2)
+	for i := range out {
+		out[i], flat = flat[:n2], flat[n2:]
+	}
+	c1, c2 := r.cols[a1], r.cols[a2]
+	for i := 0; i < r.rows; i++ {
+		out[c1[i]][c2[i]]++
+	}
+	return out
+}
+
+// FrequencyVector returns the d-dimensional frequency vector n^I of the
+// relation (Fig. 1 of the paper), indexed in row-major order over the tuple
+// space. It is only usable for small schemas and is primarily a testing aid.
+func (r *Relation) FrequencyVector() ([]int, error) {
+	d := r.sch.TupleSpace()
+	const limit = 1 << 24
+	if d > limit {
+		return nil, fmt.Errorf("relation: tuple space %d too large for an explicit frequency vector", d)
+	}
+	sizes := r.sch.DomainSizes()
+	out := make([]int, d)
+	for i := 0; i < r.rows; i++ {
+		idx := 0
+		for a := 0; a < len(sizes); a++ {
+			idx = idx*sizes[a] + int(r.cols[a][i])
+		}
+		out[idx]++
+	}
+	return out, nil
+}
+
+// Select returns a new relation containing the rows with the given indexes
+// (in order). Indexes may repeat.
+func (r *Relation) Select(rows []int) *Relation {
+	out := NewWithCapacity(r.sch, len(rows))
+	buf := make([]int, r.sch.NumAttrs())
+	for _, i := range rows {
+		out.MustAppend(r.Row(i, buf))
+	}
+	return out
+}
+
+// SampleUniform returns a uniform random sample (without replacement) of
+// approximately rate*n rows using the given random source.
+func (r *Relation) SampleUniform(rate float64, rng *rand.Rand) *Relation {
+	if rate <= 0 {
+		return New(r.sch)
+	}
+	if rate >= 1 {
+		rows := make([]int, r.rows)
+		for i := range rows {
+			rows[i] = i
+		}
+		return r.Select(rows)
+	}
+	rows := make([]int, 0, int(rate*float64(r.rows))+16)
+	for i := 0; i < r.rows; i++ {
+		if rng.Float64() < rate {
+			rows = append(rows, i)
+		}
+	}
+	return r.Select(rows)
+}
+
+// ApproxBytes returns an estimate of the in-memory footprint of the encoded
+// relation (4 bytes per value), used when reporting summary-vs-data sizes.
+func (r *Relation) ApproxBytes() int64 {
+	return int64(r.rows) * int64(r.sch.NumAttrs()) * 4
+}

@@ -1,0 +1,222 @@
+// Package sampling implements the approximate-query-processing baselines the
+// paper compares EntropyDB against (Sec. 6): uniform random samples and
+// stratified samples over a chosen attribute pair, both with Horvitz-
+// Thompson style per-stratum scaling of counts.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Sample is a weighted subset of a relation usable for approximate counting
+// queries. Each retained row carries the inverse of its inclusion
+// probability as its weight.
+type Sample struct {
+	name    string
+	rel     *relation.Relation
+	weights []float64
+}
+
+// Name returns a human-readable description of the sample (used in reports).
+func (s *Sample) Name() string { return s.name }
+
+// NumRows returns the number of retained rows.
+func (s *Sample) NumRows() int { return s.rel.NumRows() }
+
+// Relation returns the retained rows as a relation. Callers must treat it as
+// read-only.
+func (s *Sample) Relation() *relation.Relation { return s.rel }
+
+// ApproxBytes estimates the in-memory footprint of the sample (encoded rows
+// plus one float64 weight per row).
+func (s *Sample) ApproxBytes() int64 {
+	return s.rel.ApproxBytes() + int64(len(s.weights))*8
+}
+
+// Count estimates COUNT(*) for the predicate as the weighted count of
+// matching sampled rows.
+func (s *Sample) Count(pred *query.Predicate) float64 {
+	var attrs []int
+	var cons []query.Constraint
+	if pred != nil {
+		attrs = pred.ConstrainedAttrs()
+		cons = make([]query.Constraint, len(attrs))
+		for k, a := range attrs {
+			cons[k] = pred.Constraint(a)
+		}
+	}
+	total := 0.0
+rows:
+	for i := 0; i < s.rel.NumRows(); i++ {
+		for k, a := range attrs {
+			if !cons[k].Matches(s.rel.Value(i, a)) {
+				continue rows
+			}
+		}
+		total += s.weights[i]
+	}
+	return total
+}
+
+// TimedCount returns the estimate together with the scan latency.
+func (s *Sample) TimedCount(pred *query.Predicate) (float64, time.Duration) {
+	start := time.Now()
+	c := s.Count(pred)
+	return c, time.Since(start)
+}
+
+// GroupEstimate is one row of an approximate group-by result.
+type GroupEstimate struct {
+	Values   []int
+	Estimate float64
+}
+
+// GroupBy estimates COUNT(*) per combination of values of the grouping
+// attributes among rows satisfying pred.
+func (s *Sample) GroupBy(groupAttrs []int, pred *query.Predicate) []GroupEstimate {
+	if len(groupAttrs) == 0 || len(groupAttrs) > 4 {
+		panic(fmt.Sprintf("sampling: group-by needs 1..4 attributes, got %d", len(groupAttrs)))
+	}
+	var attrs []int
+	var cons []query.Constraint
+	if pred != nil {
+		attrs = pred.ConstrainedAttrs()
+		cons = make([]query.Constraint, len(attrs))
+		for k, a := range attrs {
+			cons[k] = pred.Constraint(a)
+		}
+	}
+	acc := make(map[relation.GroupKey]float64)
+	vals := make([]int, len(groupAttrs))
+rows:
+	for i := 0; i < s.rel.NumRows(); i++ {
+		for k, a := range attrs {
+			if !cons[k].Matches(s.rel.Value(i, a)) {
+				continue rows
+			}
+		}
+		for k, a := range groupAttrs {
+			vals[k] = s.rel.Value(i, a)
+		}
+		acc[relation.MakeGroupKey(vals)] += s.weights[i]
+	}
+	out := make([]GroupEstimate, 0, len(acc))
+	for key, est := range acc {
+		out = append(out, GroupEstimate{Values: key.Values(len(groupAttrs)), Estimate: est})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		a, b := out[i].Values, out[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Uniform draws a uniform random sample with the given sampling rate. Every
+// retained row gets weight 1/rate.
+func Uniform(rel *relation.Relation, rate float64, seed int64) (*Sample, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("sampling: rate must be in (0,1], got %g", rate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]int, 0, int(rate*float64(rel.NumRows()))+16)
+	for i := 0; i < rel.NumRows(); i++ {
+		if rng.Float64() < rate {
+			rows = append(rows, i)
+		}
+	}
+	sub := rel.Select(rows)
+	weights := make([]float64, sub.NumRows())
+	w := 1.0 / rate
+	for i := range weights {
+		weights[i] = w
+	}
+	return &Sample{name: fmt.Sprintf("Uniform(%.2f%%)", rate*100), rel: sub, weights: weights}, nil
+}
+
+// Stratified draws a stratified sample: rows are partitioned by the values
+// of the strata attributes; each stratum contributes ceil(rate·|stratum|)
+// rows but never fewer than minPerStratum (or the whole stratum when it is
+// smaller). Each retained row is weighted by |stratum| / |sampled stratum|.
+//
+// This is the standard stratification the paper compares against: the
+// stratified samples are built on a specific attribute pair and guarantee
+// representation of rare strata.
+func Stratified(rel *relation.Relation, strataAttrs []int, rate float64, minPerStratum int, seed int64) (*Sample, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("sampling: rate must be in (0,1], got %g", rate)
+	}
+	if len(strataAttrs) == 0 || len(strataAttrs) > 4 {
+		return nil, fmt.Errorf("sampling: stratification needs 1..4 attributes, got %d", len(strataAttrs))
+	}
+	if minPerStratum < 1 {
+		minPerStratum = 1
+	}
+	// Bucket row indexes per stratum.
+	strata := make(map[relation.GroupKey][]int)
+	vals := make([]int, len(strataAttrs))
+	for i := 0; i < rel.NumRows(); i++ {
+		for k, a := range strataAttrs {
+			vals[k] = rel.Value(i, a)
+		}
+		key := relation.MakeGroupKey(vals)
+		strata[key] = append(strata[key], i)
+	}
+	// Deterministic stratum order for reproducibility.
+	keys := make([]relation.GroupKey, 0, len(strata))
+	for k := range strata {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		for p := 0; p < len(keys[i]); p++ {
+			if keys[i][p] != keys[j][p] {
+				return keys[i][p] < keys[j][p]
+			}
+		}
+		return false
+	})
+
+	rng := rand.New(rand.NewSource(seed))
+	var rows []int
+	var weights []float64
+	for _, key := range keys {
+		members := strata[key]
+		want := int(rate*float64(len(members)) + 0.5)
+		if want < minPerStratum {
+			want = minPerStratum
+		}
+		if want > len(members) {
+			want = len(members)
+		}
+		// Partial Fisher-Yates to pick `want` members without replacement.
+		picked := append([]int(nil), members...)
+		for i := 0; i < want; i++ {
+			j := i + rng.Intn(len(picked)-i)
+			picked[i], picked[j] = picked[j], picked[i]
+		}
+		w := float64(len(members)) / float64(want)
+		for i := 0; i < want; i++ {
+			rows = append(rows, picked[i])
+			weights = append(weights, w)
+		}
+	}
+	sub := rel.Select(rows)
+	return &Sample{
+		name:    fmt.Sprintf("Stratified(%v, %.2f%%)", strataAttrs, rate*100),
+		rel:     sub,
+		weights: weights,
+	}, nil
+}

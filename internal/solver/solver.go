@@ -1,0 +1,233 @@
+// Package solver computes the MaxEnt model parameters: the values of the
+// polynomial variables α_j such that the expected value of every statistic
+// under the model matches its observed count (Sec. 3.3 of the paper).
+//
+// Maximizing the concave dual Ψ = Σ_j s_j ln α_j − n ln P is done with the
+// coordinate-wise mirror-descent scheme of Algorithm 1: each step picks one
+// statistic j and solves ∂Ψ/∂α_j = 0 in closed form while holding every
+// other variable fixed,
+//
+//	α_j ← s_j · (P − α_j·P_{α_j}) / ((n − s_j) · P_{α_j}).
+//
+// Statistics with s_j = 0 are pinned at α_j = 0, the shortcut the paper
+// notes for ZERO-cell statistics.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/polynomial"
+)
+
+// Constraint is one expected-value constraint E[⟨c_j, I⟩] = Target attached
+// to the polynomial variable Var.
+type Constraint struct {
+	Var    polynomial.VarRef
+	Target float64
+}
+
+// Options configure the solver.
+type Options struct {
+	// N is the relation cardinality (required, > 0).
+	N float64
+	// MaxSweeps bounds the number of full passes over the constraints
+	// (default 30, the paper's iteration budget).
+	MaxSweeps int
+	// Tolerance is the convergence threshold on the maximum relative
+	// constraint violation max_j |s_j − E[⟨c_j,I⟩]| / N (default 1e-6, the
+	// paper's threshold).
+	Tolerance float64
+	// MinValue clamps variable updates away from zero for statistics with a
+	// positive target, protecting against numerical underflow (default
+	// 1e-12).
+	MinValue float64
+	// Progress, when non-nil, is called after every sweep with the sweep
+	// number and current maximum violation.
+	Progress func(sweep int, maxViolation float64)
+}
+
+func (o *Options) setDefaults() error {
+	if o.N <= 0 {
+		return errors.New("solver: Options.N must be positive")
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 30
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.MinValue <= 0 {
+		o.MinValue = 1e-12
+	}
+	return nil
+}
+
+// Report describes the outcome of a Solve call.
+type Report struct {
+	// Sweeps is the number of full passes performed.
+	Sweeps int
+	// MaxViolation is the final maximum relative constraint violation.
+	MaxViolation float64
+	// Converged reports whether MaxViolation fell below the tolerance.
+	Converged bool
+	// Duration is the wall-clock solving time.
+	Duration time.Duration
+	// Constraints is the number of constraints solved for.
+	Constraints int
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("solver: %d constraints, %d sweeps, max violation %.3g, converged=%t, %s",
+		r.Constraints, r.Sweeps, r.MaxViolation, r.Converged, r.Duration.Round(time.Millisecond))
+}
+
+// Solve runs coordinate mirror descent on the system until convergence or
+// the sweep budget is exhausted. The system's variables are updated in
+// place.
+func Solve(sys *polynomial.System, constraints []Constraint, opts Options) (Report, error) {
+	start := time.Now()
+	if err := opts.setDefaults(); err != nil {
+		return Report{}, err
+	}
+	if len(constraints) == 0 {
+		return Report{Converged: true, Duration: time.Since(start)}, nil
+	}
+	for _, c := range constraints {
+		if c.Target < 0 {
+			return Report{}, fmt.Errorf("solver: constraint %v has negative target %g", c.Var, c.Target)
+		}
+		if c.Target > opts.N {
+			return Report{}, fmt.Errorf("solver: constraint %v target %g exceeds relation size %g", c.Var, c.Target, opts.N)
+		}
+	}
+
+	// Pin zero-target statistics once: their variables stay at 0 for the
+	// whole run, and they are excluded from the sweep (their constraints
+	// are satisfied by construction).
+	active := make([]Constraint, 0, len(constraints))
+	for _, c := range constraints {
+		if c.Target == 0 {
+			sys.Set(c.Var, 0)
+			continue
+		}
+		active = append(active, c)
+	}
+
+	rep := Report{Constraints: len(constraints)}
+	for sweep := 1; sweep <= opts.MaxSweeps; sweep++ {
+		rep.Sweeps = sweep
+		for _, c := range active {
+			updateOne(sys, c, opts)
+		}
+		rep.MaxViolation = maxViolation(sys, constraints, opts.N)
+		if opts.Progress != nil {
+			opts.Progress(sweep, rep.MaxViolation)
+		}
+		if rep.MaxViolation < opts.Tolerance {
+			rep.Converged = true
+			break
+		}
+	}
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// updateOne applies the closed-form coordinate update of Algorithm 1 to a
+// single constraint.
+func updateOne(sys *polynomial.System, c Constraint, opts Options) {
+	p := sys.Eval(nil)
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		return
+	}
+	pd := sys.Deriv(c.Var, nil)
+	if pd <= 0 {
+		// The variable does not influence P under the current assignment
+		// (for example, every complementary variable of its terms is 0);
+		// there is nothing to solve for.
+		return
+	}
+	cur := sys.Get(c.Var)
+	rest := p - cur*pd // P with α_j removed; never contains α_j since P is linear.
+	if rest < 0 {
+		rest = 0
+	}
+	denom := (opts.N - c.Target) * pd
+	if denom <= 0 {
+		// Target equals the relation size: drive the variable as high as is
+		// numerically sensible so the statistic captures (almost) all mass.
+		sys.Set(c.Var, math.Max(cur, 1) * 1e6)
+		return
+	}
+	next := c.Target * rest / denom
+	if next < opts.MinValue {
+		next = opts.MinValue
+	}
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		return
+	}
+	sys.Set(c.Var, next)
+}
+
+// maxViolation computes max_j |s_j − E[⟨c_j,I⟩]| / N over all constraints
+// with the current variable assignment.
+func maxViolation(sys *polynomial.System, constraints []Constraint, n float64) float64 {
+	p := sys.Eval(nil)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, c := range constraints {
+		e := n * sys.Get(c.Var) * sys.Deriv(c.Var, nil) / p
+		v := math.Abs(c.Target-e) / n
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Violations returns the per-constraint relative violations |s_j − E_j| / N
+// under the current assignment, index-aligned with constraints. It is used
+// by diagnostics and tests.
+func Violations(sys *polynomial.System, constraints []Constraint, n float64) []float64 {
+	p := sys.Eval(nil)
+	out := make([]float64, len(constraints))
+	if p <= 0 {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	for i, c := range constraints {
+		e := n * sys.Get(c.Var) * sys.Deriv(c.Var, nil) / p
+		out[i] = math.Abs(c.Target-e) / n
+	}
+	return out
+}
+
+// Dual computes the dual objective Ψ = Σ_j s_j ln α_j − n ln P for the
+// current assignment, skipping pinned zero-target statistics (whose
+// contribution is 0·ln 0 = 0 in the limit). It is exposed for tests that
+// verify the coordinate updates never decrease Ψ.
+func Dual(sys *polynomial.System, constraints []Constraint, n float64) float64 {
+	p := sys.Eval(nil)
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	total := -n * math.Log(p)
+	for _, c := range constraints {
+		if c.Target == 0 {
+			continue
+		}
+		v := sys.Get(c.Var)
+		if v <= 0 {
+			return math.Inf(-1)
+		}
+		total += c.Target * math.Log(v)
+	}
+	return total
+}

@@ -1,0 +1,176 @@
+// Package stats implements the statistics subsystem of EntropyDB (Sec. 3.1
+// and Sec. 4.3 of the paper): the complete families of 1-dimensional
+// per-value statistics, the selected 2-dimensional range statistics, the
+// chi-squared correlation used to rank attribute pairs, the two pair
+// selection policies (correlation-only vs. attribute-cover), and the three
+// bucket-selection heuristics LARGE single cell, ZERO single cell, and
+// COMPOSITE (KD-tree).
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/polynomial"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Statistic is one entry (c_j, s_j) of Φ: a conjunction of per-attribute
+// ranges together with the observed count s_j = |σ_π(I)|.
+type Statistic struct {
+	// Attrs are the sorted attribute indexes the statistic constrains.
+	Attrs []int
+	// Ranges are the inclusive value ranges, aligned with Attrs.
+	Ranges []query.Range
+	// Count is the observed value s_j.
+	Count float64
+}
+
+// Is1D reports whether the statistic is a single-attribute point statistic.
+func (s Statistic) Is1D() bool {
+	return len(s.Attrs) == 1 && s.Ranges[0].Lo == s.Ranges[0].Hi
+}
+
+// Predicate converts the statistic's structural part into a query predicate
+// over a relation with numAttrs attributes.
+func (s Statistic) Predicate(numAttrs int) *query.Predicate {
+	p := query.NewPredicate(numAttrs)
+	for k, a := range s.Attrs {
+		p.Where(a, query.ValueIn(s.Ranges[k]))
+	}
+	return p
+}
+
+// Spec converts a multi-dimensional statistic to its polynomial
+// specification.
+func (s Statistic) Spec() polynomial.MultiStatSpec {
+	return polynomial.MultiStatSpec{
+		Attrs:  append([]int(nil), s.Attrs...),
+		Ranges: append([]query.Range(nil), s.Ranges...),
+	}
+}
+
+// String renders the statistic.
+func (s Statistic) String() string {
+	return fmt.Sprintf("%v%v = %g", s.Attrs, s.Ranges, s.Count)
+}
+
+// Set is the full collection Φ of statistics over one relation: the complete
+// 1-dimensional families for every attribute plus the selected
+// multi-dimensional statistics.
+type Set struct {
+	// N is the relation cardinality the statistics were computed from.
+	N int
+	// DomainSizes are the active-domain sizes [N_1 .. N_m].
+	DomainSizes []int
+	// OneD holds, for every attribute i and value v, the count
+	// |σ_{A_i = v}(I)|. The family is complete and overcomplete: the counts
+	// of one attribute sum to N.
+	OneD [][]float64
+	// Multi holds the selected multi-dimensional statistics.
+	Multi []Statistic
+}
+
+// NewSet computes the complete 1-dimensional statistics of the relation and
+// returns a Set with no multi-dimensional statistics yet.
+func NewSet(rel *relation.Relation) *Set {
+	sch := rel.Schema()
+	s := &Set{
+		N:           rel.NumRows(),
+		DomainSizes: sch.DomainSizes(),
+		OneD:        make([][]float64, sch.NumAttrs()),
+	}
+	for a := 0; a < sch.NumAttrs(); a++ {
+		hist := rel.Histogram1D(a)
+		col := make([]float64, len(hist))
+		for v, c := range hist {
+			col[v] = float64(c)
+		}
+		s.OneD[a] = col
+	}
+	return s
+}
+
+// AddMulti appends multi-dimensional statistics, verifying that statistics
+// over the same attribute set are pairwise disjoint (an assumption of the
+// compression in Sec. 4.1).
+func (s *Set) AddMulti(stats ...Statistic) error {
+	for _, st := range stats {
+		if len(st.Attrs) < 2 {
+			return fmt.Errorf("stats: multi-dimensional statistic needs at least two attributes, got %v", st.Attrs)
+		}
+		if len(st.Attrs) != len(st.Ranges) {
+			return fmt.Errorf("stats: statistic has %d attributes but %d ranges", len(st.Attrs), len(st.Ranges))
+		}
+		if !sort.IntsAreSorted(st.Attrs) {
+			return fmt.Errorf("stats: statistic attributes must be sorted, got %v", st.Attrs)
+		}
+		for k, a := range st.Attrs {
+			if a < 0 || a >= len(s.DomainSizes) {
+				return fmt.Errorf("stats: attribute %d out of range", a)
+			}
+			r := st.Ranges[k]
+			if r.Empty() || r.Lo < 0 || r.Hi >= s.DomainSizes[a] {
+				return fmt.Errorf("stats: range %v out of domain for attribute %d", r, a)
+			}
+		}
+		for _, existing := range s.Multi {
+			if sameAttrs(existing.Attrs, st.Attrs) && overlaps(existing, st) {
+				return fmt.Errorf("stats: statistics %v and %v over the same attributes overlap", existing, st)
+			}
+		}
+		s.Multi = append(s.Multi, st)
+	}
+	return nil
+}
+
+func sameAttrs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func overlaps(a, b Statistic) bool {
+	for k := range a.Attrs {
+		if !a.Ranges[k].Overlaps(b.Ranges[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumStatistics returns the total number of statistics (1D + multi).
+func (s *Set) NumStatistics() int {
+	total := len(s.Multi)
+	for _, col := range s.OneD {
+		total += len(col)
+	}
+	return total
+}
+
+// MultiSpecs returns the polynomial specifications of the multi-dimensional
+// statistics, index-aligned with Multi.
+func (s *Set) MultiSpecs() []polynomial.MultiStatSpec {
+	specs := make([]polynomial.MultiStatSpec, len(s.Multi))
+	for j, st := range s.Multi {
+		specs[j] = st.Spec()
+	}
+	return specs
+}
+
+// Budget returns the multi-dimensional budget usage B_a (distinct attribute
+// sets) and the total number of multi-dimensional statistics.
+func (s *Set) Budget() (attributeSets, total int) {
+	seen := make(map[string]struct{})
+	for _, st := range s.Multi {
+		seen[fmt.Sprint(st.Attrs)] = struct{}{}
+	}
+	return len(seen), len(s.Multi)
+}
