@@ -1,1 +1,65 @@
+// Package core defines the estimator abstraction every query-answering
+// strategy of the repository implements: the exact ground-truth engine,
+// the sampling baselines, and the MaxEnt summary. Putting all of them
+// behind one interface lets the experiment harness drive any mix of
+// strategies through identical code paths, mirroring the evaluation
+// setup of the paper (Sec. 6).
 package core
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Estimator answers the linear counting queries of Sec. 3.1 — COUNT(*)
+// under a conjunctive predicate, and COUNT(*) GROUP BY a small attribute
+// list — from whatever state the strategy keeps (full relation, weighted
+// sample, or solved MaxEnt polynomial).
+//
+// Implementations must be safe for concurrent read-only use: the
+// experiment harness shares one Estimator across many goroutines.
+type Estimator interface {
+	// Name identifies the strategy in reports (e.g. "exact",
+	// "Uniform(1.00%)", "maxent[LARGE]").
+	Name() string
+	// EstimateCount returns the estimated COUNT(*) of tuples satisfying
+	// pred. A nil predicate means the full relation cardinality.
+	EstimateCount(pred *query.Predicate) (float64, error)
+	// EstimateGroupBy returns the estimated COUNT(*) per combination of
+	// values of the grouping attributes among tuples satisfying pred
+	// (pred may be nil). At most four grouping attributes are supported.
+	// Groups are ordered by descending estimate with deterministic
+	// tie-breaking (see SortGroupEstimates).
+	EstimateGroupBy(groupAttrs []int, pred *query.Predicate) ([]GroupEstimate, error)
+	// ApproxBytes estimates the in-memory footprint of the state the
+	// strategy answers from, for summary-vs-data size reporting.
+	ApproxBytes() int64
+}
+
+// GroupEstimate is one row of an approximate (or exact) group-by result.
+type GroupEstimate struct {
+	// Values are the encoded domain values of the grouping attributes,
+	// in the order the attributes were given.
+	Values []int
+	// Estimate is the (estimated) COUNT(*) of the group.
+	Estimate float64
+}
+
+// SortGroupEstimates orders groups descending by estimate, then
+// lexicographically by values, the deterministic order every Estimator
+// returns.
+func SortGroupEstimates(groups []GroupEstimate) {
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Estimate != groups[j].Estimate {
+			return groups[i].Estimate > groups[j].Estimate
+		}
+		a, b := groups[i].Values, groups[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

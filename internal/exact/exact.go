@@ -1,21 +1,27 @@
 // Package exact is the ground-truth query engine: it answers the counting
 // and group-by queries of the evaluation by scanning the full relation. The
 // experiment harness scores every approximate estimator (the MaxEnt summary
-// and the sampling baselines) against this engine.
+// and the sampling baselines) against this engine; the engine itself also
+// satisfies core.Estimator, so it can be driven through the same harness
+// code path to report its own latency and footprint.
 package exact
 
 import (
-	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
 
-// Engine answers queries exactly against a full relation.
+// Engine answers queries exactly against a full relation. It implements
+// core.Estimator with zero error.
 type Engine struct {
 	rel *relation.Relation
 }
+
+// Engine satisfies the shared estimator interface.
+var _ core.Estimator = (*Engine)(nil)
 
 // New creates an exact engine over the relation.
 func New(rel *relation.Relation) *Engine {
@@ -25,9 +31,21 @@ func New(rel *relation.Relation) *Engine {
 // Relation returns the underlying relation.
 func (e *Engine) Relation() *relation.Relation { return e.rel }
 
+// Name identifies the engine in reports.
+func (e *Engine) Name() string { return "exact" }
+
+// ApproxBytes reports the footprint of the full encoded relation, the
+// state the engine answers from.
+func (e *Engine) ApproxBytes() int64 { return e.rel.ApproxBytes() }
+
 // Count returns the exact COUNT(*) of rows satisfying the predicate.
 func (e *Engine) Count(pred *query.Predicate) float64 {
 	return float64(e.rel.Count(pred))
+}
+
+// EstimateCount implements core.Estimator; the "estimate" is exact.
+func (e *Engine) EstimateCount(pred *query.Predicate) (float64, error) {
+	return e.Count(pred), nil
 }
 
 // TimedCount returns the exact count together with the scan latency; the
@@ -38,40 +56,21 @@ func (e *Engine) TimedCount(pred *query.Predicate) (float64, time.Duration) {
 	return c, time.Since(start)
 }
 
-// Group is one row of a group-by result.
-type Group struct {
-	// Values are the encoded values of the grouping attributes.
-	Values []int
-	// Count is the exact COUNT(*) of the group.
-	Count float64
-}
-
 // GroupBy returns the exact COUNT(*) per combination of values of the
-// grouping attributes among rows satisfying pred (pred may be nil). Groups
-// are returned in descending count order with deterministic tie-breaking.
-func (e *Engine) GroupBy(groupAttrs []int, pred *query.Predicate) []Group {
+// grouping attributes among rows satisfying pred (pred may be nil). Only
+// observed groups are returned, in descending count order with
+// deterministic tie-breaking.
+func (e *Engine) GroupBy(groupAttrs []int, pred *query.Predicate) []core.GroupEstimate {
 	counts := e.rel.GroupCounts(groupAttrs, pred)
-	out := make([]Group, 0, len(counts))
+	out := make([]core.GroupEstimate, 0, len(counts))
 	for key, c := range counts {
-		out = append(out, Group{Values: key.Values(len(groupAttrs)), Count: float64(c)})
+		out = append(out, core.GroupEstimate{Values: key.Values(len(groupAttrs)), Estimate: float64(c)})
 	}
-	sortGroups(out)
+	core.SortGroupEstimates(out)
 	return out
 }
 
-// sortGroups orders groups descending by count, then lexicographically by
-// values, for deterministic output.
-func sortGroups(groups []Group) {
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].Count != groups[j].Count {
-			return groups[i].Count > groups[j].Count
-		}
-		a, b := groups[i].Values, groups[j].Values
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
+// EstimateGroupBy implements core.Estimator.
+func (e *Engine) EstimateGroupBy(groupAttrs []int, pred *query.Predicate) ([]core.GroupEstimate, error) {
+	return e.GroupBy(groupAttrs, pred), nil
 }

@@ -1,0 +1,294 @@
+// Package experiment is the evaluation harness of the reproduction: it
+// runs a workload of counting and group-by queries against any set of
+// core.Estimator strategies concurrently, scores every answer against the
+// exact ground-truth engine with the paper's error measures (Sec. 6.2),
+// and emits a machine-readable report. It is the substrate the
+// repository's benchmarks and accuracy experiments hang off.
+//
+// Concurrency model: one worker pool consumes (estimator, query) jobs;
+// estimators are shared read-only across workers, which the Estimator
+// contract requires to be safe.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// Query is one workload entry: a counting query when GroupBy is empty,
+// otherwise a group-by query over the listed attributes. Pred may be nil
+// (no selection).
+type Query struct {
+	Name    string
+	Pred    *query.Predicate
+	GroupBy []int
+}
+
+// IsGroupBy reports whether the query is a group-by query.
+func (q Query) IsGroupBy() bool { return len(q.GroupBy) > 0 }
+
+// Options configure a Run.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+}
+
+// QueryScore is the scored outcome of one (estimator, query) pair.
+type QueryScore struct {
+	Query string `json:"query"`
+	Kind  string `json:"kind"` // "count" or "groupby"
+	// Truth and Estimate are set for count queries.
+	Truth    float64 `json:"truth,omitempty"`
+	Estimate float64 `json:"estimate,omitempty"`
+	// RelativeError is the symmetric relative error of a count query, or
+	// the mean per-group symmetric relative error (over the union of true
+	// and estimated groups) of a group-by query.
+	RelativeError float64 `json:"relative_error"`
+	// FMeasure scores group existence for group-by queries: a group
+	// counts as predicted when its rounded estimate is positive.
+	FMeasure float64 `json:"f_measure,omitempty"`
+	// LatencyNS is the answering latency of the estimator in nanoseconds.
+	LatencyNS int64 `json:"latency_ns"`
+	// Err records an estimator failure; the score fields are zero then.
+	Err string `json:"error,omitempty"`
+}
+
+// EstimatorReport aggregates one estimator's scores over the workload.
+type EstimatorReport struct {
+	Estimator   string               `json:"estimator"`
+	ApproxBytes int64                `json:"approx_bytes"`
+	CountErrors metrics.ErrorSummary `json:"count_errors"`
+	GroupErrors metrics.ErrorSummary `json:"group_errors"`
+	// MeanFMeasure averages the group-by F-measures (0 when the workload
+	// has no group-by queries).
+	MeanFMeasure float64 `json:"mean_f_measure"`
+	// TotalLatencyNS sums the answering latency over the whole workload.
+	TotalLatencyNS int64        `json:"total_latency_ns"`
+	Failures       int          `json:"failures"`
+	Queries        []QueryScore `json:"queries"`
+}
+
+// Report is the machine-readable outcome of one harness invocation.
+type Report struct {
+	Rows        int               `json:"rows"`
+	Schema      string            `json:"schema"`
+	NumQueries  int               `json:"num_queries"`
+	Estimators  []EstimatorReport `json:"estimators"`
+	ElapsedNS   int64             `json:"elapsed_ns"`
+	WorkerCount int               `json:"worker_count"`
+}
+
+// JSON renders the report with indentation.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// WriteJSON writes the indented JSON report followed by a newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// groundTruth is the precomputed exact answer of one query.
+type groundTruth struct {
+	count  float64
+	groups []core.GroupEstimate
+}
+
+// Run executes the workload against every estimator concurrently and
+// scores the answers against the exact engine. The truth engine itself
+// may also appear in estimators; it is then scored like any other
+// strategy (with zero error by construction).
+func Run(truth *exact.Engine, estimators []core.Estimator, workload []Query, opts Options) (*Report, error) {
+	if truth == nil {
+		return nil, fmt.Errorf("experiment: a ground-truth engine is required")
+	}
+	if len(estimators) == 0 {
+		return nil, fmt.Errorf("experiment: at least one estimator is required")
+	}
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiment: the workload is empty")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	// Precompute ground truth once per query, not once per estimator.
+	truths := make([]groundTruth, len(workload))
+	for i, q := range workload {
+		if q.IsGroupBy() {
+			truths[i] = groundTruth{groups: truth.GroupBy(q.GroupBy, q.Pred)}
+		} else {
+			truths[i] = groundTruth{count: truth.Count(q.Pred)}
+		}
+	}
+
+	// Fan (estimator, query) pairs out over the worker pool; the result
+	// grid keeps scores deterministic regardless of completion order.
+	type job struct{ est, qry int }
+	jobs := make(chan job)
+	grid := make([][]QueryScore, len(estimators))
+	for i := range grid {
+		grid[i] = make([]QueryScore, len(workload))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				grid[j.est][j.qry] = score(estimators[j.est], workload[j.qry], truths[j.qry])
+			}
+		}()
+	}
+	for e := range estimators {
+		for q := range workload {
+			jobs <- job{est: e, qry: q}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		Rows:        truth.Relation().NumRows(),
+		Schema:      truth.Relation().Schema().String(),
+		NumQueries:  len(workload),
+		WorkerCount: workers,
+	}
+	for e, est := range estimators {
+		rep.Estimators = append(rep.Estimators, aggregate(est, grid[e]))
+	}
+	rep.ElapsedNS = time.Since(start).Nanoseconds()
+	return rep, nil
+}
+
+// score runs one query against one estimator and scores it against the
+// precomputed truth.
+func score(est core.Estimator, q Query, gt groundTruth) QueryScore {
+	name := q.Name
+	if name == "" {
+		name = queryLabel(q)
+	}
+	s := QueryScore{Query: name, Kind: "count"}
+	begin := time.Now()
+	if q.IsGroupBy() {
+		s.Kind = "groupby"
+		groups, err := est.EstimateGroupBy(q.GroupBy, q.Pred)
+		s.LatencyNS = time.Since(begin).Nanoseconds()
+		if err != nil {
+			s.Err = err.Error()
+			return s
+		}
+		s.RelativeError, s.FMeasure = scoreGroups(gt.groups, groups)
+		return s
+	}
+	c, err := est.EstimateCount(q.Pred)
+	s.LatencyNS = time.Since(begin).Nanoseconds()
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	s.Truth = gt.count
+	s.Estimate = c
+	s.RelativeError = metrics.RelativeError(gt.count, c)
+	return s
+}
+
+// scoreGroups compares estimated groups against true groups: the mean
+// symmetric relative error over the union of group keys, and the
+// F-measure of group existence (a group is predicted existing when its
+// rounded estimate is positive, Sec. 6.2).
+func scoreGroups(truth, est []core.GroupEstimate) (meanErr, f float64) {
+	tm := make(map[string]float64, len(truth))
+	for _, g := range truth {
+		tm[groupKey(g.Values)] = g.Estimate
+	}
+	em := make(map[string]float64, len(est))
+	for _, g := range est {
+		em[groupKey(g.Values)] = g.Estimate
+	}
+	// Iterate in sorted key order so float summation order (and thus the
+	// reported mean at ULP precision) is reproducible across runs.
+	tkeys := make([]string, 0, len(tm))
+	for k := range tm {
+		tkeys = append(tkeys, k)
+	}
+	sort.Strings(tkeys)
+	ekeys := make([]string, 0, len(em))
+	for k := range em {
+		ekeys = append(ekeys, k)
+	}
+	sort.Strings(ekeys)
+
+	var errs []float64
+	var outcome metrics.RareValueOutcome
+	for _, k := range tkeys {
+		e := em[k]
+		errs = append(errs, metrics.RelativeError(tm[k], e))
+		outcome.AddLightHitter(e)
+	}
+	for _, k := range ekeys {
+		if _, seen := tm[k]; seen {
+			continue
+		}
+		errs = append(errs, metrics.RelativeError(0, em[k]))
+		outcome.AddNull(em[k])
+	}
+	return metrics.Mean(errs), outcome.F()
+}
+
+func groupKey(values []int) string { return fmt.Sprint(values) }
+
+// queryLabel derives a stable label for an unnamed query.
+func queryLabel(q Query) string {
+	pred := "true"
+	if q.Pred != nil {
+		pred = q.Pred.String()
+	}
+	if q.IsGroupBy() {
+		return fmt.Sprintf("groupby%v where %s", q.GroupBy, pred)
+	}
+	return "count where " + pred
+}
+
+// aggregate folds one estimator's per-query scores into its report row.
+func aggregate(est core.Estimator, scores []QueryScore) EstimatorReport {
+	rep := EstimatorReport{
+		Estimator:   est.Name(),
+		ApproxBytes: est.ApproxBytes(),
+		Queries:     scores,
+	}
+	var countErrs, groupErrs, fs []float64
+	for _, s := range scores {
+		rep.TotalLatencyNS += s.LatencyNS
+		if s.Err != "" {
+			rep.Failures++
+			continue
+		}
+		if s.Kind == "groupby" {
+			groupErrs = append(groupErrs, s.RelativeError)
+			fs = append(fs, s.FMeasure)
+		} else {
+			countErrs = append(countErrs, s.RelativeError)
+		}
+	}
+	rep.CountErrors = metrics.Summarize(countErrs)
+	rep.GroupErrors = metrics.Summarize(groupErrs)
+	rep.MeanFMeasure = metrics.Mean(fs)
+	return rep
+}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sampling"
+	"repro/internal/schema"
+	"repro/internal/solver"
+	"repro/internal/summary"
+)
+
+func harnessRelation(t *testing.T, rows int) *relation.Relation {
+	t.Helper()
+	sch := schema.MustNew(
+		schema.MustCategorical("a", []string{"x", "y", "z", "w"}),
+		schema.MustCategorical("b", []string{"p", "q", "r"}),
+		schema.MustBinned("c", 0, 10, 4),
+	)
+	rng := rand.New(rand.NewSource(21))
+	rel := relation.NewWithCapacity(sch, rows)
+	for i := 0; i < rows; i++ {
+		a := rng.Intn(4)
+		b := a % 3
+		if rng.Float64() < 0.2 {
+			b = rng.Intn(3)
+		}
+		c, err := sch.Attr(2).Bin(rng.Float64() * 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel.MustAppend([]int{a, b, c})
+	}
+	return rel
+}
+
+// TestRunAllEstimatorKinds is the PR's end-to-end acceptance scenario:
+// one harness invocation drives the MaxEnt summary, a uniform sample, a
+// stratified sample, and the exact engine through the single
+// core.Estimator interface, concurrently, and scores all of them.
+func TestRunAllEstimatorKinds(t *testing.T) {
+	rel := harnessRelation(t, 3000)
+	truth := exact.New(rel)
+
+	sum, err := summary.Build(rel, summary.Options{Solver: solver.Options{MaxSweeps: 500, Tolerance: 1e-7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := sampling.Uniform(rel, 0.05, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := sampling.Stratified(rel, []int{0, 1}, 0.05, 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimators := []core.Estimator{sum, uni, strat, truth}
+
+	workload := GenerateWorkload(rel.Schema(), 24, nil)
+	rep, err := Run(truth, estimators, workload, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Estimators) != 4 {
+		t.Fatalf("report has %d estimators, want 4", len(rep.Estimators))
+	}
+	if rep.NumQueries != 24 || rep.Rows != 3000 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	for _, er := range rep.Estimators {
+		if er.Failures != 0 {
+			t.Errorf("%s: %d failures", er.Estimator, er.Failures)
+		}
+		if len(er.Queries) != 24 {
+			t.Errorf("%s: %d scored queries, want 24", er.Estimator, len(er.Queries))
+		}
+		if er.ApproxBytes <= 0 {
+			t.Errorf("%s: non-positive footprint %d", er.Estimator, er.ApproxBytes)
+		}
+	}
+	// The exact engine scored against itself must have zero error and a
+	// perfect F-measure on every group-by query.
+	var exactRow *EstimatorReport
+	for i := range rep.Estimators {
+		if rep.Estimators[i].Estimator == "exact" {
+			exactRow = &rep.Estimators[i]
+		}
+	}
+	if exactRow == nil {
+		t.Fatal("exact engine missing from report")
+	}
+	if exactRow.CountErrors.Max != 0 || exactRow.GroupErrors.Max != 0 {
+		t.Errorf("exact engine has nonzero error: %+v", exactRow)
+	}
+	if exactRow.GroupErrors.Count > 0 && exactRow.MeanFMeasure != 1 {
+		t.Errorf("exact engine F-measure = %g, want 1", exactRow.MeanFMeasure)
+	}
+	// The summary must be far smaller than the relation while staying
+	// reasonably accurate on this correlated workload.
+	if rep.Estimators[0].ApproxBytes >= rel.ApproxBytes() {
+		t.Errorf("summary footprint %d not below relation %d", rep.Estimators[0].ApproxBytes, rel.ApproxBytes())
+	}
+	if rep.Estimators[0].CountErrors.Mean > 0.2 {
+		t.Errorf("summary mean count error %g too large", rep.Estimators[0].CountErrors.Mean)
+	}
+}
+
+// TestRunDeterministicScores verifies the result grid is ordered by
+// (estimator, query) regardless of worker interleaving.
+func TestRunDeterministicScores(t *testing.T) {
+	rel := harnessRelation(t, 500)
+	truth := exact.New(rel)
+	workload := GenerateWorkload(rel.Schema(), 12, rand.New(rand.NewSource(4)))
+
+	run := func(workers int) *Report {
+		rep, err := Run(truth, []core.Estimator{truth}, workload, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(8)
+	for i := range a.Estimators[0].Queries {
+		qa, qb := a.Estimators[0].Queries[i], b.Estimators[0].Queries[i]
+		if qa.Query != qb.Query || qa.Truth != qb.Truth || qa.Estimate != qb.Estimate {
+			t.Fatalf("query %d differs across worker counts: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
+
+// TestReportJSONRoundTrips verifies the machine-readable output parses
+// back.
+func TestReportJSONRoundTrips(t *testing.T) {
+	rel := harnessRelation(t, 200)
+	truth := exact.New(rel)
+	workload := []Query{
+		{Name: "all", Pred: nil},
+		{Name: "eq", Pred: query.NewPredicate(rel.NumAttrs()).WhereEq(0, 1)},
+		{Name: "grp", GroupBy: []int{1}},
+	}
+	rep, err := Run(truth, []core.Estimator{truth}, workload, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.NumQueries != 3 || len(back.Estimators) != 1 {
+		t.Fatalf("round-tripped report wrong: %+v", back)
+	}
+}
+
+// TestRunValidation pins the harness input checks.
+func TestRunValidation(t *testing.T) {
+	rel := harnessRelation(t, 100)
+	truth := exact.New(rel)
+	wl := GenerateWorkload(rel.Schema(), 2, nil)
+	if _, err := Run(nil, []core.Estimator{truth}, wl, Options{}); err == nil {
+		t.Error("nil truth accepted")
+	}
+	if _, err := Run(truth, nil, wl, Options{}); err == nil {
+		t.Error("no estimators accepted")
+	}
+	if _, err := Run(truth, []core.Estimator{truth}, nil, Options{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+// TestGenerateWorkloadDeterministic pins the fixed default seed.
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	sch := schema.MustNew(
+		schema.MustCategorical("a", []string{"x", "y", "z"}),
+		schema.MustCategorical("b", []string{"p", "q"}),
+	)
+	w1 := GenerateWorkload(sch, 10, nil)
+	w2 := GenerateWorkload(sch, 10, nil)
+	if len(w1) != 10 || len(w2) != 10 {
+		t.Fatalf("workload sizes %d, %d; want 10", len(w1), len(w2))
+	}
+	for i := range w1 {
+		p1, p2 := "nil", "nil"
+		if w1[i].Pred != nil {
+			p1 = w1[i].Pred.String()
+		}
+		if w2[i].Pred != nil {
+			p2 = w2[i].Pred.String()
+		}
+		if p1 != p2 {
+			t.Fatalf("query %d differs across default-seeded runs: %s vs %s", i, p1, p2)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// WorkloadSeed seeds the fallback random source of GenerateWorkload when
+// it is given a nil *rand.Rand.
+const WorkloadSeed int64 = 7
+
+// GenerateWorkload builds a mixed workload of n queries over the schema,
+// mirroring the paper's selection templates: 1–2 attribute point and
+// range predicates, plus single-attribute group-by queries (one in four).
+// A nil rng uses a deterministic source seeded with WorkloadSeed, so the
+// default workload is reproducible.
+func GenerateWorkload(sch *schema.Schema, n int, rng *rand.Rand) []Query {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(WorkloadSeed))
+	}
+	m := sch.NumAttrs()
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		p := query.NewPredicate(m)
+		attrs := rng.Perm(m)[:1+rng.Intn(min(2, m))]
+		for _, a := range attrs {
+			size := sch.Attr(a).Size()
+			if rng.Intn(2) == 0 {
+				p.WhereEq(a, rng.Intn(size))
+			} else {
+				lo := rng.Intn(size)
+				hi := lo + rng.Intn(size-lo)
+				p.WhereRange(a, lo, hi)
+			}
+		}
+		q := Query{Name: fmt.Sprintf("q%03d", i), Pred: p}
+		if i%4 == 3 {
+			// Group by an attribute the predicate does not constrain when
+			// one exists, so groups are non-degenerate.
+			constrained := make(map[int]bool, len(attrs))
+			for _, a := range attrs {
+				constrained[a] = true
+			}
+			var free []int
+			for a := 0; a < m; a++ {
+				if !constrained[a] {
+					free = append(free, a)
+				}
+			}
+			if len(free) > 0 {
+				q.GroupBy = []int{free[rng.Intn(len(free))]}
+			} else {
+				q.GroupBy = []int{rng.Intn(m)}
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}

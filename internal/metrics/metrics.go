@@ -82,6 +82,34 @@ func Percentile(xs []float64, p float64) float64 {
 	return cp[lo]*(1-frac) + cp[hi]*frac
 }
 
+// ErrorSummary aggregates a set of per-query errors into the summary
+// statistics the evaluation tables report.
+type ErrorSummary struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes the ErrorSummary of xs (zero-valued for an empty
+// slice).
+func Summarize(xs []float64) ErrorSummary {
+	s := ErrorSummary{Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.Median = Median(xs)
+	s.P95 = Percentile(xs, 95)
+	for _, x := range xs {
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
 // RareValueOutcome accumulates the confusion counts of the paper's
 // rare-versus-nonexistent experiment: estimates over light hitters (true
 // count > 0) and null values (true count = 0) are rounded and classified as

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRelativeErrorEdgeCases pins the zero/zero and one-sided-zero
+// behavior of the paper's symmetric error measure.
+func TestRelativeErrorEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		truth, est float64
+		want       float64
+	}{
+		{"both zero", 0, 0, 0},
+		{"truth zero", 0, 5, 1},
+		{"estimate zero", 5, 0, 1},
+		{"exact", 7, 7, 0},
+		{"double", 10, 30, 0.5},
+		{"symmetric", 30, 10, 0.5},
+		{"cancelling negatives", 5, -5, 1},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.truth, c.est); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: RelativeError(%g, %g) = %g, want %g", c.name, c.truth, c.est, got, c.want)
+		}
+	}
+	// The measure is bounded by 1 for non-negative inputs.
+	if got := RelativeError(1e-9, 1e9); got > 1 {
+		t.Errorf("RelativeError exceeded 1: %g", got)
+	}
+}
+
+// TestFMeasureEdgeCases pins the degenerate precision/recall inputs.
+func TestFMeasureEdgeCases(t *testing.T) {
+	if got := FMeasure(0, 0); got != 0 {
+		t.Errorf("FMeasure(0,0) = %g, want 0", got)
+	}
+	if got := FMeasure(1, 0); got != 0 {
+		t.Errorf("FMeasure(1,0) = %g, want 0", got)
+	}
+	if got := FMeasure(0, 1); got != 0 {
+		t.Errorf("FMeasure(0,1) = %g, want 0", got)
+	}
+	if got := FMeasure(1, 1); got != 1 {
+		t.Errorf("FMeasure(1,1) = %g, want 1", got)
+	}
+	if got := FMeasure(0.5, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("FMeasure(0.5,1) = %g, want 2/3", got)
+	}
+}
+
+// TestRareValueOutcome pins the confusion accounting, including the
+// all-empty precision convention.
+func TestRareValueOutcome(t *testing.T) {
+	var o RareValueOutcome
+	if p := o.Precision(); p != 1 {
+		t.Errorf("empty Precision = %g, want 1", p)
+	}
+	if r := o.Recall(); r != 0 {
+		t.Errorf("empty Recall = %g, want 0", r)
+	}
+	o.AddLightHitter(0.6)  // rounds to 1: true positive
+	o.AddLightHitter(0.4)  // rounds to 0: miss
+	o.AddNull(2)           // phantom tuple: false positive
+	o.AddNull(0.2)         // correctly absent
+	if p := o.Precision(); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("Precision = %g, want 0.5", p)
+	}
+	if r := o.Recall(); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("Recall = %g, want 0.5", r)
+	}
+	if f := o.F(); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("F = %g, want 0.5", f)
+	}
+}
+
+// TestSummarize pins the aggregate used by the experiment reports.
+func TestSummarize(t *testing.T) {
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Mean != 0 || empty.Median != 0 || empty.P95 != 0 || empty.Max != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero value", empty)
+	}
+	s := Summarize([]float64{0.1, 0.3, 0.2})
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3", s.Count)
+	}
+	if math.Abs(s.Mean-0.2) > 1e-12 || math.Abs(s.Median-0.2) > 1e-12 || math.Abs(s.Max-0.3) > 1e-12 {
+		t.Errorf("Summarize = %+v, want mean/median 0.2, max 0.3", s)
+	}
+}
+
+// TestPercentile pins the interpolation endpoints.
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %g, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("P100 = %g, want 4", got)
+	}
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("P50 = %g, want 2.5", got)
+	}
+}

@@ -1,0 +1,112 @@
+package polynomial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// benchSystem builds a realistically shaped system: 6 attributes with
+// domain sizes up to 64 and 16 pairwise 2D statistics over three
+// attribute pairs — the shape a B_a=3, B_s=16 summary produces.
+func benchSystem(b *testing.B) (*System, *query.Predicate) {
+	b.Helper()
+	sizes := []int{64, 32, 16, 8, 8, 4}
+	rng := rand.New(rand.NewSource(31))
+	var specs []MultiStatSpec
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {0, 4}} {
+		for k := 0; k < 16; k++ {
+			a1, a2 := pair[0], pair[1]
+			// Disjoint point cells along a diagonal stripe keep the specs
+			// non-overlapping per pair, as statistic selection guarantees.
+			v1 := (k * 3) % sizes[a1]
+			v2 := k % sizes[a2]
+			specs = append(specs, MultiStatSpec{
+				Attrs:  []int{a1, a2},
+				Ranges: []query.Range{query.Point(v1), query.Point(v2)},
+			})
+		}
+	}
+	comp, err := NewCompressed(sizes, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := NewSystem(comp)
+	for _, ref := range sys.Variables() {
+		sys.Set(ref, 0.05+rng.Float64())
+	}
+	pred := query.NewPredicate(len(sizes)).
+		WhereRange(0, 4, 40).
+		WhereEq(2, 3).
+		WhereIn(4, 0, 2, 5)
+	return sys, pred
+}
+
+func BenchmarkSystemEvalFull(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil) // warm the prefix caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Eval(nil)
+	}
+}
+
+func BenchmarkSystemEvalMasked(b *testing.B) {
+	sys, pred := benchSystem(b)
+	sys.Eval(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Eval(pred)
+	}
+}
+
+func BenchmarkSystemDerivOneD(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	ref := VarRef{Kind: OneD, Attr: 0, Value: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Deriv(ref, nil)
+	}
+}
+
+func BenchmarkSystemDerivOneDMasked(b *testing.B) {
+	sys, pred := benchSystem(b)
+	sys.Eval(nil)
+	ref := VarRef{Kind: OneD, Attr: 0, Value: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Deriv(ref, pred)
+	}
+}
+
+func BenchmarkSystemDerivMulti(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	ref := VarRef{Kind: Multi, Stat: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Deriv(ref, nil)
+	}
+}
+
+// BenchmarkSolverShapedSweep measures one synthetic coordinate sweep —
+// an Eval plus a Deriv per variable — the solver's inner-loop shape.
+func BenchmarkSolverShapedSweep(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	refs := sys.Variables()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := refs[i%len(refs)]
+		_ = sys.Eval(nil)
+		_ = sys.Deriv(ref, nil)
+	}
+}

@@ -1,7 +1,13 @@
 // Package sampling implements the approximate-query-processing baselines the
 // paper compares EntropyDB against (Sec. 6): uniform random samples and
 // stratified samples over a chosen attribute pair, both with Horvitz-
-// Thompson style per-stratum scaling of counts.
+// Thompson style per-stratum scaling of counts. Samples satisfy
+// core.Estimator, so the experiment harness drives them through the same
+// code path as the MaxEnt summary and the exact engine.
+//
+// All randomness is injected: constructors take a *rand.Rand and fall back
+// to a fixed DefaultSeed when given nil, so experiments are reproducible
+// by default.
 package sampling
 
 import (
@@ -10,18 +16,36 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
 
+// DefaultSeed seeds the fallback random source used when a constructor is
+// given a nil *rand.Rand. Experiments that want different draws must pass
+// their own source; nothing in this package reads the wall clock.
+const DefaultSeed int64 = 1
+
+// defaultRNG returns rng, or a freshly seeded deterministic source when
+// rng is nil.
+func defaultRNG(rng *rand.Rand) *rand.Rand {
+	if rng != nil {
+		return rng
+	}
+	return rand.New(rand.NewSource(DefaultSeed))
+}
+
 // Sample is a weighted subset of a relation usable for approximate counting
 // queries. Each retained row carries the inverse of its inclusion
-// probability as its weight.
+// probability as its weight. Sample implements core.Estimator.
 type Sample struct {
 	name    string
 	rel     *relation.Relation
 	weights []float64
 }
+
+// Sample satisfies the shared estimator interface.
+var _ core.Estimator = (*Sample)(nil)
 
 // Name returns a human-readable description of the sample (used in reports).
 func (s *Sample) Name() string { return s.name }
@@ -64,6 +88,11 @@ rows:
 	return total
 }
 
+// EstimateCount implements core.Estimator.
+func (s *Sample) EstimateCount(pred *query.Predicate) (float64, error) {
+	return s.Count(pred), nil
+}
+
 // TimedCount returns the estimate together with the scan latency.
 func (s *Sample) TimedCount(pred *query.Predicate) (float64, time.Duration) {
 	start := time.Now()
@@ -71,15 +100,10 @@ func (s *Sample) TimedCount(pred *query.Predicate) (float64, time.Duration) {
 	return c, time.Since(start)
 }
 
-// GroupEstimate is one row of an approximate group-by result.
-type GroupEstimate struct {
-	Values   []int
-	Estimate float64
-}
-
 // GroupBy estimates COUNT(*) per combination of values of the grouping
-// attributes among rows satisfying pred.
-func (s *Sample) GroupBy(groupAttrs []int, pred *query.Predicate) []GroupEstimate {
+// attributes among rows satisfying pred. Only groups with at least one
+// sampled row are returned.
+func (s *Sample) GroupBy(groupAttrs []int, pred *query.Predicate) []core.GroupEstimate {
 	if len(groupAttrs) == 0 || len(groupAttrs) > 4 {
 		panic(fmt.Sprintf("sampling: group-by needs 1..4 attributes, got %d", len(groupAttrs)))
 	}
@@ -106,32 +130,27 @@ rows:
 		}
 		acc[relation.MakeGroupKey(vals)] += s.weights[i]
 	}
-	out := make([]GroupEstimate, 0, len(acc))
+	out := make([]core.GroupEstimate, 0, len(acc))
 	for key, est := range acc {
-		out = append(out, GroupEstimate{Values: key.Values(len(groupAttrs)), Estimate: est})
+		out = append(out, core.GroupEstimate{Values: key.Values(len(groupAttrs)), Estimate: est})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Estimate != out[j].Estimate {
-			return out[i].Estimate > out[j].Estimate
-		}
-		a, b := out[i].Values, out[j].Values
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
+	core.SortGroupEstimates(out)
 	return out
 }
 
+// EstimateGroupBy implements core.Estimator.
+func (s *Sample) EstimateGroupBy(groupAttrs []int, pred *query.Predicate) ([]core.GroupEstimate, error) {
+	return s.GroupBy(groupAttrs, pred), nil
+}
+
 // Uniform draws a uniform random sample with the given sampling rate. Every
-// retained row gets weight 1/rate.
-func Uniform(rel *relation.Relation, rate float64, seed int64) (*Sample, error) {
+// retained row gets weight 1/rate. A nil rng uses a deterministic source
+// seeded with DefaultSeed.
+func Uniform(rel *relation.Relation, rate float64, rng *rand.Rand) (*Sample, error) {
 	if rate <= 0 || rate > 1 {
 		return nil, fmt.Errorf("sampling: rate must be in (0,1], got %g", rate)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng = defaultRNG(rng)
 	rows := make([]int, 0, int(rate*float64(rel.NumRows()))+16)
 	for i := 0; i < rel.NumRows(); i++ {
 		if rng.Float64() < rate {
@@ -147,15 +166,22 @@ func Uniform(rel *relation.Relation, rate float64, seed int64) (*Sample, error) 
 	return &Sample{name: fmt.Sprintf("Uniform(%.2f%%)", rate*100), rel: sub, weights: weights}, nil
 }
 
+// UniformSeeded is a convenience wrapper drawing a uniform sample from a
+// fresh source seeded with seed.
+func UniformSeeded(rel *relation.Relation, rate float64, seed int64) (*Sample, error) {
+	return Uniform(rel, rate, rand.New(rand.NewSource(seed)))
+}
+
 // Stratified draws a stratified sample: rows are partitioned by the values
 // of the strata attributes; each stratum contributes ceil(rate·|stratum|)
 // rows but never fewer than minPerStratum (or the whole stratum when it is
 // smaller). Each retained row is weighted by |stratum| / |sampled stratum|.
+// A nil rng uses a deterministic source seeded with DefaultSeed.
 //
 // This is the standard stratification the paper compares against: the
 // stratified samples are built on a specific attribute pair and guarantee
 // representation of rare strata.
-func Stratified(rel *relation.Relation, strataAttrs []int, rate float64, minPerStratum int, seed int64) (*Sample, error) {
+func Stratified(rel *relation.Relation, strataAttrs []int, rate float64, minPerStratum int, rng *rand.Rand) (*Sample, error) {
 	if rate <= 0 || rate > 1 {
 		return nil, fmt.Errorf("sampling: rate must be in (0,1], got %g", rate)
 	}
@@ -165,6 +191,7 @@ func Stratified(rel *relation.Relation, strataAttrs []int, rate float64, minPerS
 	if minPerStratum < 1 {
 		minPerStratum = 1
 	}
+	rng = defaultRNG(rng)
 	// Bucket row indexes per stratum.
 	strata := make(map[relation.GroupKey][]int)
 	vals := make([]int, len(strataAttrs))
@@ -189,7 +216,6 @@ func Stratified(rel *relation.Relation, strataAttrs []int, rate float64, minPerS
 		return false
 	})
 
-	rng := rand.New(rand.NewSource(seed))
 	var rows []int
 	var weights []float64
 	for _, key := range keys {
@@ -219,4 +245,10 @@ func Stratified(rel *relation.Relation, strataAttrs []int, rate float64, minPerS
 		rel:     sub,
 		weights: weights,
 	}, nil
+}
+
+// StratifiedSeeded is a convenience wrapper drawing a stratified sample
+// from a fresh source seeded with seed.
+func StratifiedSeeded(rel *relation.Relation, strataAttrs []int, rate float64, minPerStratum int, seed int64) (*Sample, error) {
+	return Stratified(rel, strataAttrs, rate, minPerStratum, rand.New(rand.NewSource(seed)))
 }

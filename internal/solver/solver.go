@@ -29,6 +29,24 @@ type Constraint struct {
 	Target float64
 }
 
+// OneDConstraint builds the constraint pinning the expected count of the
+// 1-dimensional statistic (A_attr = value) to target.
+func OneDConstraint(attr, value int, target float64) Constraint {
+	return Constraint{
+		Var:    polynomial.VarRef{Kind: polynomial.OneD, Attr: attr, Value: value},
+		Target: target,
+	}
+}
+
+// MultiConstraint builds the constraint pinning the expected count of the
+// stat-th multi-dimensional statistic to target.
+func MultiConstraint(stat int, target float64) Constraint {
+	return Constraint{
+		Var:    polynomial.VarRef{Kind: polynomial.Multi, Stat: stat},
+		Target: target,
+	}
+}
+
 // Options configure the solver.
 type Options struct {
 	// N is the relation cardinality (required, > 0).

@@ -1,0 +1,145 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/polynomial"
+	"repro/internal/query"
+)
+
+// tinyRelation is the hand-checked instance used throughout this file: a
+// relation over R(A:2, B:2) with 10 tuples distributed
+//
+//	(0,0): 4   (0,1): 2   (1,0): 1   (1,1): 3
+//
+// so the 1D statistics are A=0:6, A=1:4, B=0:5, B=1:5, and the single 2D
+// statistic (A=0 ∧ B=0) has count 4 — more than the 3 the independence
+// model would predict (6·5/10), so the solve must move δ above 1.
+func tinyInstance(t *testing.T) (*polynomial.System, []Constraint) {
+	t.Helper()
+	specs := []polynomial.MultiStatSpec{{
+		Attrs:  []int{0, 1},
+		Ranges: []query.Range{query.Point(0), query.Point(0)},
+	}}
+	comp, err := polynomial.NewCompressed([]int{2, 2}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := polynomial.NewSystem(comp)
+	constraints := []Constraint{
+		OneDConstraint(0, 0, 6),
+		OneDConstraint(0, 1, 4),
+		OneDConstraint(1, 0, 5),
+		OneDConstraint(1, 1, 5),
+		MultiConstraint(0, 4),
+	}
+	return sys, constraints
+}
+
+// TestSolveTinyRelationConverges solves the hand-checked instance and
+// verifies that every expected count matches its observed statistic.
+func TestSolveTinyRelationConverges(t *testing.T) {
+	sys, constraints := tinyInstance(t)
+	const n = 10
+	rep, err := Solve(sys, constraints, Options{N: n, MaxSweeps: 500, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("solver did not converge: %v", rep)
+	}
+	p := sys.Eval(nil)
+	if p <= 0 {
+		t.Fatalf("P = %g, want > 0", p)
+	}
+	for _, c := range constraints {
+		e := n * sys.Get(c.Var) * sys.Deriv(c.Var, nil) / p
+		if math.Abs(e-c.Target) > 1e-6*n {
+			t.Errorf("constraint %v: expected count %g, want %g", c.Var, e, c.Target)
+		}
+	}
+	// The chosen 2D statistic is over-represented relative to
+	// independence, so its δ must exceed 1.
+	if d := sys.MultiVar(0); d <= 1 {
+		t.Errorf("δ = %g, want > 1 for an over-represented statistic", d)
+	}
+	// The solved model must reproduce the masked counts of the
+	// statistics via Eq. (16) as well: n·P_π/P.
+	pred := query.NewPredicate(2).WhereEq(0, 0).WhereEq(1, 0)
+	if got := n * sys.Eval(pred) / p; math.Abs(got-4) > 1e-5 {
+		t.Errorf("masked count for (A=0,B=0) = %g, want 4", got)
+	}
+}
+
+// TestSolveMonotoneDual verifies the coordinate updates never decrease
+// the concave dual objective Ψ.
+func TestSolveMonotoneDual(t *testing.T) {
+	sys, constraints := tinyInstance(t)
+	last := math.Inf(-1)
+	_, err := Solve(sys, constraints, Options{
+		N:         10,
+		MaxSweeps: 50,
+		Tolerance: 1e-12,
+		Progress: func(sweep int, _ float64) {
+			d := Dual(sys, constraints, 10)
+			if d < last-1e-9 {
+				t.Errorf("sweep %d: dual decreased from %g to %g", sweep, last, d)
+			}
+			last = d
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveZeroTargetPinsVariable verifies the ZERO-cell shortcut: a
+// zero-count statistic pins its variable at 0 and the model assigns the
+// cell no mass.
+func TestSolveZeroTargetPinsVariable(t *testing.T) {
+	specs := []polynomial.MultiStatSpec{{
+		Attrs:  []int{0, 1},
+		Ranges: []query.Range{query.Point(1), query.Point(1)},
+	}}
+	comp, err := polynomial.NewCompressed([]int{2, 2}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := polynomial.NewSystem(comp)
+	constraints := []Constraint{
+		OneDConstraint(0, 0, 6),
+		OneDConstraint(0, 1, 4),
+		OneDConstraint(1, 0, 6),
+		OneDConstraint(1, 1, 4),
+		MultiConstraint(0, 0),
+	}
+	rep, err := Solve(sys, constraints, Options{N: 10, MaxSweeps: 500, Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("solver did not converge: %v", rep)
+	}
+	if d := sys.MultiVar(0); d != 0 {
+		t.Fatalf("zero-target δ = %g, want exactly 0", d)
+	}
+	pred := query.NewPredicate(2).WhereEq(0, 1).WhereEq(1, 1)
+	if got := 10 * sys.Eval(pred) / sys.Eval(nil); got != 0 {
+		t.Fatalf("masked count over zero cell = %g, want 0", got)
+	}
+}
+
+// TestSolveRejectsBadTargets pins the input validation.
+func TestSolveRejectsBadTargets(t *testing.T) {
+	sys, _ := tinyInstance(t)
+	if _, err := Solve(sys, []Constraint{OneDConstraint(0, 0, -1)}, Options{N: 10}); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := Solve(sys, []Constraint{OneDConstraint(0, 0, 11)}, Options{N: 10}); err == nil {
+		t.Error("target above N accepted")
+	}
+	if _, err := Solve(sys, nil, Options{N: 0}); err == nil {
+		t.Error("non-positive N accepted")
+	}
+}

@@ -79,6 +79,29 @@ func SelectPairStatistics(rel *relation.Relation, a1, a2 int, budget int, h Heur
 	}
 }
 
+// SelectMulti runs the full multi-dimensional statistic selection pipeline
+// of Sec. 4.3 against the relation: rank every attribute pair by
+// correlation, choose at most pairBudget pairs under the policy, compute
+// perPairBudget 2D statistics for each chosen pair with the heuristic, and
+// add them to the set. It returns the chosen pairs for reporting.
+func SelectMulti(rel *relation.Relation, set *Set, pairBudget, perPairBudget int, policy PairPolicy, h Heuristic) ([]PairCorrelation, error) {
+	if pairBudget <= 0 {
+		return nil, nil
+	}
+	ranked := RankPairs(rel, nil)
+	chosen := SelectPairs(ranked, pairBudget, policy)
+	for _, pc := range chosen {
+		sts, err := SelectPairStatistics(rel, pc.A1, pc.A2, perPairBudget, h)
+		if err != nil {
+			return nil, err
+		}
+		if err := set.AddMulti(sts...); err != nil {
+			return nil, err
+		}
+	}
+	return chosen, nil
+}
+
 type cell struct {
 	v1, v2 int
 	count  int

@@ -1,0 +1,286 @@
+// Package summary is the orchestration layer of the EntropyDB
+// reproduction: it composes the statistics subsystem, the factorized
+// MaxEnt polynomial, and the coordinate-descent solver into the paper's
+// core loop (Sec. 3–4):
+//
+//	relation → 1D complete stats → multi-dimensional statistic selection
+//	         → compressed polynomial → solved MaxEnt model → query answering
+//
+// Build runs the pipeline end to end and returns a Summary, a compact
+// probabilistic model of the relation that answers counting and group-by
+// queries via masked polynomial evaluation (Eq. 16): the estimated count
+// of σ_π(I) is n · P_π / P, where P_π is the polynomial with every
+// 1-dimensional variable outside the predicate set to 0.
+//
+// Summary implements core.Estimator, so the experiment harness drives it
+// through the same interface as the exact engine and the sampling
+// baselines.
+package summary
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/polynomial"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/solver"
+	"repro/internal/stats"
+)
+
+// Options configure Build. The zero value requests the defaults noted on
+// each field.
+type Options struct {
+	// PairBudget is B_a, the number of attribute pairs that receive
+	// multi-dimensional statistics (default 2; negative means none, which
+	// yields the pure independence model over the 1D statistics).
+	PairBudget int
+	// PerPairBudget is B_s, the number of 2D statistics per chosen pair
+	// (default 8).
+	PerPairBudget int
+	// Policy selects which attribute pairs receive statistics
+	// (default ByCorrelation).
+	Policy stats.PairPolicy
+	// Heuristic selects the per-pair bucket heuristic (default
+	// LargeSingleCell).
+	Heuristic stats.Heuristic
+	// Solver configures the MaxEnt solve; N is filled in from the
+	// relation and must be left zero.
+	Solver solver.Options
+	// MaxGroupCombos bounds the number of value combinations
+	// EstimateGroupBy will enumerate (default 65536).
+	MaxGroupCombos int
+}
+
+func (o *Options) setDefaults() {
+	if o.PairBudget == 0 {
+		o.PairBudget = 2
+	}
+	if o.PerPairBudget == 0 {
+		o.PerPairBudget = 8
+	}
+	if o.MaxGroupCombos <= 0 {
+		o.MaxGroupCombos = 1 << 16
+	}
+}
+
+// Summary is a solved MaxEnt model of one relation. It is immutable after
+// Build and safe for concurrent query answering.
+type Summary struct {
+	name        string
+	sch         *schema.Schema
+	n           float64
+	set         *stats.Set
+	sys         *polynomial.System
+	constraints []solver.Constraint
+	pairs       []stats.PairCorrelation
+	report      solver.Report
+	p           float64 // cached P = Eval(nil) of the solved system
+	maxCombos   int
+}
+
+// Summary satisfies the shared estimator interface.
+var _ core.Estimator = (*Summary)(nil)
+
+// Build runs the full summarization pipeline over the relation:
+// complete 1-dimensional statistics, correlation-ranked multi-dimensional
+// statistic selection, polynomial compression, and the MaxEnt solve. The
+// returned Summary answers queries without ever touching the relation
+// again.
+func Build(rel *relation.Relation, opts Options) (*Summary, error) {
+	if rel.NumRows() == 0 {
+		return nil, errors.New("summary: cannot summarize an empty relation")
+	}
+	if opts.Solver.N != 0 {
+		return nil, errors.New("summary: Options.Solver.N is set from the relation; leave it zero")
+	}
+	opts.setDefaults()
+
+	// Stage 1: statistics (Sec. 3.1, 4.3).
+	set := stats.NewSet(rel)
+	var pairs []stats.PairCorrelation
+	if opts.PairBudget > 0 {
+		var err error
+		pairs, err = stats.SelectMulti(rel, set, opts.PairBudget, opts.PerPairBudget, opts.Policy, opts.Heuristic)
+		if err != nil {
+			return nil, fmt.Errorf("summary: statistic selection: %w", err)
+		}
+	}
+
+	// Stage 2: compressed polynomial (Sec. 4.1).
+	comp, err := polynomial.NewCompressed(set.DomainSizes, set.MultiSpecs())
+	if err != nil {
+		return nil, fmt.Errorf("summary: polynomial compression: %w", err)
+	}
+	sys := polynomial.NewSystem(comp)
+
+	// Stage 3: one expected-value constraint per statistic (Sec. 3.3).
+	constraints := make([]solver.Constraint, 0, set.NumStatistics())
+	for attr, col := range set.OneD {
+		for value, target := range col {
+			constraints = append(constraints, solver.OneDConstraint(attr, value, target))
+		}
+	}
+	for j, st := range set.Multi {
+		constraints = append(constraints, solver.MultiConstraint(j, st.Count))
+	}
+
+	// Stage 4: solve.
+	sopts := opts.Solver
+	sopts.N = float64(set.N)
+	report, err := solver.Solve(sys, constraints, sopts)
+	if err != nil {
+		return nil, fmt.Errorf("summary: solve: %w", err)
+	}
+
+	// Evaluating once flushes the prefix-sum caches left dirty by the
+	// solver's final variable updates, making subsequent concurrent
+	// read-only evaluation safe, and pins the normalization constant.
+	p := sys.Eval(nil)
+	if p <= 0 {
+		return nil, fmt.Errorf("summary: solved polynomial evaluates to %g; model is degenerate", p)
+	}
+
+	return &Summary{
+		name:        fmt.Sprintf("maxent[%s,Ba=%d,Bs=%d]", opts.Heuristic, opts.PairBudget, opts.PerPairBudget),
+		sch:         rel.Schema(),
+		n:           float64(set.N),
+		set:         set,
+		sys:         sys,
+		constraints: constraints,
+		pairs:       pairs,
+		report:      report,
+		p:           p,
+		maxCombos:   opts.MaxGroupCombos,
+	}, nil
+}
+
+// Name identifies the summary configuration in reports.
+func (s *Summary) Name() string { return s.name }
+
+// Schema returns the schema the summary was built over.
+func (s *Summary) Schema() *schema.Schema { return s.sch }
+
+// N returns the cardinality of the summarized relation.
+func (s *Summary) N() float64 { return s.n }
+
+// Stats returns the statistic set Φ the model was fit to. Callers must
+// treat it as read-only.
+func (s *Summary) Stats() *stats.Set { return s.set }
+
+// System returns the solved polynomial system. Callers must treat it as
+// read-only; mutating variables invalidates the summary.
+func (s *Summary) System() *polynomial.System { return s.sys }
+
+// Constraints returns the solver constraints the model was fit to.
+func (s *Summary) Constraints() []solver.Constraint { return s.constraints }
+
+// ChosenPairs returns the attribute pairs that received multi-dimensional
+// statistics, most correlated first.
+func (s *Summary) ChosenPairs() []stats.PairCorrelation { return s.pairs }
+
+// SolverReport returns the outcome of the MaxEnt solve.
+func (s *Summary) SolverReport() solver.Report { return s.report }
+
+// ApproxBytes estimates the serialized footprint of the summary: one
+// float64 per polynomial variable plus the structural description of each
+// multi-dimensional statistic (two int32 attribute indexes and two int32
+// range bounds per constrained attribute). The relation itself is not
+// retained.
+func (s *Summary) ApproxBytes() int64 {
+	rep := s.sys.Poly().Size()
+	bytes := int64(rep.OneDVariables)*8 + int64(rep.MultiVariables)*8
+	for _, st := range s.set.Multi {
+		bytes += int64(len(st.Attrs)) * 12 // attr index + range lo/hi
+	}
+	return bytes
+}
+
+// EstimateCount answers COUNT(σ_π(I)) as n · P_π / P (Eq. 16). A nil
+// predicate returns n exactly.
+func (s *Summary) EstimateCount(pred *query.Predicate) (float64, error) {
+	if pred == nil {
+		return s.n, nil
+	}
+	if pred.NumAttrs() != s.sch.NumAttrs() {
+		return 0, fmt.Errorf("summary: predicate over %d attributes, schema has %d", pred.NumAttrs(), s.sch.NumAttrs())
+	}
+	if pred.Unsatisfiable() {
+		return 0, nil
+	}
+	return s.n * s.sys.Eval(pred) / s.p, nil
+}
+
+// EstimateGroupBy estimates COUNT(*) per combination of values of the
+// grouping attributes among tuples satisfying pred, by enumerating the
+// cross product of the grouping domains and answering one masked
+// evaluation per combination. Unlike the scan-based estimators, the model
+// has no notion of "observed" groups, so every combination with a
+// positive estimate is returned — including the phantom groups the
+// paper's rare-value experiment measures.
+func (s *Summary) EstimateGroupBy(groupAttrs []int, pred *query.Predicate) ([]core.GroupEstimate, error) {
+	if len(groupAttrs) == 0 || len(groupAttrs) > 4 {
+		return nil, fmt.Errorf("summary: group-by needs 1..4 attributes, got %d", len(groupAttrs))
+	}
+	if pred != nil && pred.NumAttrs() != s.sch.NumAttrs() {
+		return nil, fmt.Errorf("summary: predicate over %d attributes, schema has %d", pred.NumAttrs(), s.sch.NumAttrs())
+	}
+	combos := 1
+	for _, a := range groupAttrs {
+		if a < 0 || a >= s.sch.NumAttrs() {
+			return nil, fmt.Errorf("summary: group-by attribute %d out of range [0,%d)", a, s.sch.NumAttrs())
+		}
+		combos *= s.sch.Attr(a).Size()
+		if combos > s.maxCombos {
+			return nil, fmt.Errorf("summary: group-by space exceeds %d combinations", s.maxCombos)
+		}
+	}
+	base := pred
+	if base == nil {
+		base = query.NewPredicate(s.sch.NumAttrs())
+	}
+	var out []core.GroupEstimate
+	vals := make([]int, len(groupAttrs))
+	var walk func(k int) error
+	walk = func(k int) error {
+		if k == len(groupAttrs) {
+			q := base.Clone()
+			for i, a := range groupAttrs {
+				q.WhereEq(a, vals[i])
+			}
+			est, err := s.EstimateCount(q)
+			if err != nil {
+				return err
+			}
+			if est > 0 {
+				out = append(out, core.GroupEstimate{
+					Values:   append([]int(nil), vals...),
+					Estimate: est,
+				})
+			}
+			return nil
+		}
+		a := groupAttrs[k]
+		// Only descend into values compatible with any constraint the
+		// predicate already places on the attribute, pruning whole
+		// subtrees (and their Clone allocations) up front.
+		cons := base.Constraint(a)
+		for v := 0; v < s.sch.Attr(a).Size(); v++ {
+			if !cons.Matches(v) {
+				continue
+			}
+			vals[k] = v
+			if err := walk(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	core.SortGroupEstimates(out)
+	return out, nil
+}
