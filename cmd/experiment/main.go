@@ -36,6 +36,9 @@ func main() {
 		perPair    = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
 		heuristic  = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
 		sweeps     = flag.Int("sweeps", 200, "solver sweep budget")
+		relax      = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
+		solverWork = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
+		partitions = flag.Int("partitions", 0, "when > 0, also build a K-way partitioned summary (built concurrently)")
 	)
 	flag.Parse()
 
@@ -48,12 +51,13 @@ func main() {
 	sch := rel.Schema()
 	fmt.Fprintf(os.Stderr, "relation: %s, %d rows\n", sch, rel.NumRows())
 
-	sum, err := summary.Build(rel, summary.Options{
+	buildOpts := summary.Options{
 		PairBudget:    *pairBudget,
 		PerPairBudget: *perPair,
 		Heuristic:     h,
-		Solver:        solver.Options{MaxSweeps: *sweeps},
-	})
+		Solver:        solver.Options{MaxSweeps: *sweeps, Relaxation: *relax, Workers: *solverWork},
+	}
+	sum, err := summary.Build(rel, buildOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,9 +76,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	estimators := []core.Estimator{sum, uni, strat}
+	if *partitions > 0 {
+		// Partition-level concurrency already saturates the cores; keep the
+		// per-partition solver sequential so the two pools don't contend.
+		partOpts := buildOpts
+		partOpts.Solver.Workers = 1
+		psum, err := summary.BuildPartitioned(rel, summary.PartitionedOptions{
+			Partitions: *partitions,
+			Base:       partOpts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, rep := range psum.SolverReports() {
+			fmt.Fprintf(os.Stderr, "partition %d/%d: %s\n", k+1, psum.NumPartitions(), rep)
+		}
+		estimators = append(estimators, psum)
+	}
+
 	truth := exact.New(rel)
 	workload := experiment.GenerateWorkload(sch, *queries, rand.New(rand.NewSource(*seed+3)))
-	report, err := experiment.Run(truth, []core.Estimator{sum, uni, strat, truth}, workload, experiment.Options{})
+	report, err := experiment.Run(truth, append(estimators, truth), workload, experiment.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,6 +46,67 @@ type GroupEstimate struct {
 	Estimate float64
 }
 
+// GroupKey identifies one group in a group-by result: the packed tuple of
+// encoded values of the grouping attributes, in the order they were given.
+// It is the single key layout shared by the exact engine, the sampling
+// baselines, and MergeGroupEstimates, so the four-attribute limit and the
+// -1 unused-slot sentinel live in one place.
+type GroupKey [4]int32
+
+// MakeGroupKey packs up to four encoded values into a GroupKey; unused
+// slots hold -1, which no encoded domain value can collide with.
+func MakeGroupKey(values []int) GroupKey {
+	var k GroupKey
+	for i := range k {
+		k[i] = -1
+	}
+	for i, v := range values {
+		if i >= len(k) {
+			panic("core: group-by supports at most 4 attributes")
+		}
+		k[i] = int32(v)
+	}
+	return k
+}
+
+// Values unpacks the first n values of the key.
+func (k GroupKey) Values(n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = int(k[i])
+	}
+	return out
+}
+
+// MergeGroupEstimates sums group estimates across several partial results
+// (for example, the per-partition answers of a partitioned estimator):
+// groups with identical value tuples are combined by adding their
+// estimates, and the merged result is returned in the canonical
+// SortGroupEstimates order.
+func MergeGroupEstimates(parts ...[]GroupEstimate) []GroupEstimate {
+	sums := make(map[GroupKey]GroupEstimate)
+	for _, part := range parts {
+		for _, g := range part {
+			k := MakeGroupKey(g.Values)
+			if have, ok := sums[k]; ok {
+				have.Estimate += g.Estimate
+				sums[k] = have
+				continue
+			}
+			sums[k] = GroupEstimate{
+				Values:   append([]int(nil), g.Values...),
+				Estimate: g.Estimate,
+			}
+		}
+	}
+	out := make([]GroupEstimate, 0, len(sums))
+	for _, g := range sums {
+		out = append(out, g)
+	}
+	SortGroupEstimates(out)
+	return out
+}
+
 // SortGroupEstimates orders groups descending by estimate, then
 // lexicographically by values, the deterministic order every Estimator
 // returns.

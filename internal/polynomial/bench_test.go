@@ -110,3 +110,47 @@ func BenchmarkSolverShapedSweep(b *testing.B) {
 		_ = sys.Deriv(ref, nil)
 	}
 }
+
+// BenchmarkSolverShapedSweepUpdate is the full coordinate-update shape:
+// a variable write (incremental cache maintenance) followed by the Eval
+// and Deriv the closed-form update reads — what one solver coordinate
+// step actually costs.
+func BenchmarkSolverShapedSweepUpdate(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	refs := sys.Variables()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := refs[i%len(refs)]
+		sys.Set(ref, 0.5+float64(i%7)*0.1)
+		_ = sys.Eval(nil)
+		_ = sys.Deriv(ref, nil)
+	}
+}
+
+// BenchmarkSystemSetVar isolates the incremental maintenance cost of a
+// single-variable update.
+func BenchmarkSystemSetVar(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	ref := VarRef{Kind: OneD, Attr: 0, Value: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Set(ref, 0.5+float64(i%7)*0.1)
+	}
+}
+
+// BenchmarkSystemRecompute measures the full cache rebuild — the per-sweep
+// drift resynchronization, and the cost the incremental path saves per
+// coordinate update.
+func BenchmarkSystemRecompute(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Recompute()
+	}
+}

@@ -120,11 +120,26 @@ func (t term) key() string {
 
 // Compressed is the factorized polynomial structure. It depends only on the
 // domain sizes and the multi-dimensional statistic specifications, not on
-// the variable values.
+// the variable values. Alongside the terms it keeps two inverted indexes
+// that the incremental System maintenance is built on: for every α variable
+// the terms whose effective range covers it, and for every δ variable the
+// terms whose statistic set contains it.
 type Compressed struct {
 	sizes []int
 	specs []MultiStatSpec
 	terms []term
+	// touch[a][v] lists the indexes of the terms whose effective range
+	// ρ_iS on attribute a contains value v, and loose[a] the terms that do
+	// not constrain attribute a at all (their factor is the full-domain
+	// sum, touched by every value). Together they are exactly the terms
+	// whose value changes when α_{a,v} changes, and the terms ∂P/∂α_{a,v}
+	// sums over; sharing one loose list per attribute keeps the index
+	// O(Σ_terms Σ_a |ρ_iS|) instead of O(terms · Σ_a N_a).
+	touch [][][]int32
+	loose [][]int32
+	// statTerms[j] lists the indexes of the terms whose statistic set S
+	// contains j — the terms carrying a (δ_j − 1) factor.
+	statTerms [][]int32
 }
 
 // NewCompressed builds the compressed polynomial for the given active-domain
@@ -144,6 +159,7 @@ func NewCompressed(domainSizes []int, specs []MultiStatSpec) (*Compressed, error
 	}
 	c := &Compressed{sizes: sizes, specs: append([]MultiStatSpec(nil), specs...)}
 	c.buildTerms()
+	c.buildIndexes()
 	return c, nil
 }
 
@@ -198,6 +214,35 @@ func (c *Compressed) buildTerms() {
 		}
 		return ti.key() < tk.key()
 	})
+}
+
+// buildIndexes derives the inverted variable→term indexes from the final
+// (sorted) term list. Must run after buildTerms: the indexes store term
+// positions.
+func (c *Compressed) buildIndexes() {
+	c.touch = make([][][]int32, len(c.sizes))
+	c.loose = make([][]int32, len(c.sizes))
+	for a, n := range c.sizes {
+		c.touch[a] = make([][]int32, n)
+	}
+	c.statTerms = make([][]int32, len(c.specs))
+	for i, t := range c.terms {
+		k := 0
+		for a := range c.sizes {
+			if k < len(t.attrs) && t.attrs[k] == a {
+				r := t.ranges[k]
+				k++
+				for v := r.Lo; v <= r.Hi; v++ {
+					c.touch[a][v] = append(c.touch[a][v], int32(i))
+				}
+				continue
+			}
+			c.loose[a] = append(c.loose[a], int32(i))
+		}
+		for _, j := range t.stats {
+			c.statTerms[j] = append(c.statTerms[j], int32(i))
+		}
+	}
 }
 
 // combine extends term t with statistic j. It returns false when j is

@@ -2,15 +2,30 @@ package polynomial
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/query"
 )
 
+// rebuildEvery bounds how many incremental variable updates may pass before
+// the factor caches are recomputed from scratch, so floating-point drift
+// from the multiply/divide maintenance cannot accumulate unboundedly.
+const rebuildEvery = 1 << 13
+
 // System couples a Compressed polynomial structure with concrete variable
 // values: α values for the complete 1-dimensional statistics and δ values
 // for the multi-dimensional statistics. It supports masked evaluation and
-// analytic partial derivatives, both computed in a single pass over the
-// compressed terms.
+// analytic partial derivatives.
+//
+// The system is incremental: it caches, per term, the current value of
+// every factor (the per-attribute range sums and the (δ_j − 1) statistic
+// factors) together with the running total P. A single-variable update
+// touches only the terms whose effective range covers the variable
+// (Compressed.touch / Compressed.statTerms), so after a SetVar the full
+// polynomial value Eval(nil) and the unmasked derivatives Deriv(·, nil)
+// are available in O(terms touching the variable) instead of a full
+// re-evaluation — the property the solver's inner loop is built on.
 //
 // A System is not safe for concurrent mutation; concurrent read-only use
 // (Eval/Deriv with no SetVar in between) is safe.
@@ -20,11 +35,35 @@ type System struct {
 	delta  []float64   // per multi-dimensional statistic
 	prefix [][]float64 // per attribute: prefix sums of alpha (len N_i + 1)
 	dirty  []bool      // per attribute: prefix sums need rebuilding
+
+	// Incremental term caches. For term i, nz[i] is the product of its
+	// non-zero factors and zeros[i] counts its zero factors, so the term
+	// value is nz[i] when zeros[i] == 0 and 0 otherwise; fac[i][a] is the
+	// current value of the attribute-a factor. total is Σ_i value(i) = P.
+	fac     [][]float64
+	nz      []float64
+	zeros   []int
+	total   float64
+	updates int // SetVar count since the last full rebuild
+
+	// consPool recycles the per-call constraint scratch of masked
+	// Eval/Deriv so the hot path is allocation-free yet still safe for
+	// concurrent read-only use.
+	consPool sync.Pool
 }
 
 // NewSystem creates a System over the polynomial with every variable
 // initialized to 1 (the uniform starting point used by the solver).
 func NewSystem(poly *Compressed) *System {
+	s := newSystemShell(poly)
+	s.rebuild()
+	return s
+}
+
+// newSystemShell allocates a System with every variable at 1 but leaves the
+// term caches unbuilt; callers must rebuild (possibly after overwriting the
+// variable values, as Clone does) before use.
+func newSystemShell(poly *Compressed) *System {
 	s := &System{poly: poly}
 	s.alpha = make([][]float64, len(poly.sizes))
 	s.prefix = make([][]float64, len(poly.sizes))
@@ -41,6 +80,18 @@ func NewSystem(poly *Compressed) *System {
 	for j := range s.delta {
 		s.delta[j] = 1
 	}
+	m := len(poly.sizes)
+	s.fac = make([][]float64, len(poly.terms))
+	flat := make([]float64, len(poly.terms)*m)
+	for i := range s.fac {
+		s.fac[i], flat = flat[:m], flat[m:]
+	}
+	s.nz = make([]float64, len(poly.terms))
+	s.zeros = make([]int, len(poly.terms))
+	s.consPool.New = func() any {
+		buf := make([]query.Constraint, m)
+		return &buf
+	}
 	return s
 }
 
@@ -53,14 +104,124 @@ func (s *System) OneD(attr, value int) float64 { return s.alpha[attr][value] }
 // MultiVar returns the value of δ_stat.
 func (s *System) MultiVar(stat int) float64 { return s.delta[stat] }
 
-// SetOneD assigns α_{attr,value}.
+// SetOneD assigns α_{attr,value}, incrementally maintaining the cached
+// term factors and the polynomial total.
 func (s *System) SetOneD(attr, value int, x float64) {
+	dx := x - s.alpha[attr][value]
+	if dx == 0 {
+		return
+	}
 	s.alpha[attr][value] = x
 	s.dirty[attr] = true
+	for _, ti := range s.poly.touch[attr][value] {
+		s.shiftFactor(int(ti), attr, dx)
+	}
+	for _, ti := range s.poly.loose[attr] {
+		s.shiftFactor(int(ti), attr, dx)
+	}
+	s.noteUpdate()
 }
 
-// SetMulti assigns δ_stat.
-func (s *System) SetMulti(stat int, x float64) { s.delta[stat] = x }
+// SetMulti assigns δ_stat, incrementally maintaining the cached term
+// factors and the polynomial total.
+func (s *System) SetMulti(stat int, x float64) {
+	old := s.delta[stat]
+	if x == old {
+		return
+	}
+	s.delta[stat] = x
+	for _, ti := range s.poly.statTerms[stat] {
+		s.replaceFactor(int(ti), old-1, x-1)
+	}
+	s.noteUpdate()
+}
+
+// shiftFactor adds dx to term i's attribute-attr range-sum factor.
+func (s *System) shiftFactor(i, attr int, dx float64) {
+	old := s.fac[i][attr]
+	nf := old + dx
+	s.fac[i][attr] = nf
+	s.replaceFactor(i, old, nf)
+}
+
+// replaceFactor swaps one factor of term i from value old to value nf,
+// updating nz/zeros and the running total.
+func (s *System) replaceFactor(i int, old, nf float64) {
+	if s.zeros[i] == 0 {
+		s.total -= s.nz[i]
+	}
+	if old == 0 {
+		s.zeros[i]--
+	} else {
+		s.nz[i] /= old
+	}
+	if nf == 0 {
+		s.zeros[i]++
+	} else {
+		s.nz[i] *= nf
+	}
+	if s.zeros[i] == 0 {
+		s.total += s.nz[i]
+	}
+}
+
+// noteUpdate counts one variable update and triggers a full cache rebuild
+// when the drift budget is exhausted or the total went non-finite.
+func (s *System) noteUpdate() {
+	s.updates++
+	if s.updates >= rebuildEvery || math.IsNaN(s.total) || math.IsInf(s.total, 0) {
+		s.rebuild()
+	}
+}
+
+// rebuild recomputes every cached term factor, nz/zeros, and the running
+// total from the current variable values.
+func (s *System) rebuild() {
+	s.refreshAll()
+	total := 0.0
+	for i, t := range s.poly.terms {
+		f := s.fac[i]
+		nz, zeros := 1.0, 0
+		k := 0
+		for a := range s.alpha {
+			var r query.Range
+			if k < len(t.attrs) && t.attrs[k] == a {
+				r = t.ranges[k]
+				k++
+			} else {
+				r = fullRange(len(s.alpha[a]))
+			}
+			v := s.rangeSum(a, r)
+			f[a] = v
+			if v == 0 {
+				zeros++
+			} else {
+				nz *= v
+			}
+		}
+		for _, j := range t.stats {
+			d := s.delta[j] - 1
+			if d == 0 {
+				zeros++
+			} else {
+				nz *= d
+			}
+		}
+		s.nz[i] = nz
+		s.zeros[i] = zeros
+		if zeros == 0 {
+			total += nz
+		}
+	}
+	s.total = total
+	s.updates = 0
+}
+
+// Recompute discards the incremental caches and rebuilds them from the
+// current variable values, re-synchronizing the cached P with a full
+// evaluation. The solver calls it once per sweep so incremental
+// floating-point drift cannot accumulate across sweeps.
+func (s *System) Recompute() { s.rebuild() }
 
 // Get returns the value of the referenced variable.
 func (s *System) Get(v VarRef) float64 {
@@ -80,18 +241,15 @@ func (s *System) Set(v VarRef, x float64) {
 }
 
 // Clone returns a deep copy of the system (sharing the immutable Compressed
-// structure).
+// structure). The copy's caches are rebuilt from scratch, so a clone also
+// serves as a drift-free re-evaluation of the same variable assignment.
 func (s *System) Clone() *System {
-	c := &System{poly: s.poly}
-	c.alpha = make([][]float64, len(s.alpha))
-	c.prefix = make([][]float64, len(s.prefix))
-	c.dirty = make([]bool, len(s.dirty))
+	c := newSystemShell(s.poly)
 	for i := range s.alpha {
-		c.alpha[i] = append([]float64(nil), s.alpha[i]...)
-		c.prefix[i] = make([]float64, len(s.prefix[i]))
-		c.dirty[i] = true
+		copy(c.alpha[i], s.alpha[i])
 	}
-	c.delta = append([]float64(nil), s.delta...)
+	copy(c.delta, s.delta)
+	c.rebuild()
 	return c
 }
 
@@ -182,21 +340,44 @@ func constraintFor(pred *query.Predicate, attr int) query.Constraint {
 	return pred.Constraint(attr)
 }
 
-// Eval computes P with every 1D variable that does not satisfy the
-// predicate's per-attribute constraint set to 0 (Sec. 4.2). A nil predicate
-// evaluates the full polynomial P.
-func (s *System) Eval(pred *query.Predicate) float64 {
-	s.refreshAll()
-	total := 0.0
-	m := len(s.alpha)
-	// Per-attribute constraints are extracted once per call.
-	cons := make([]query.Constraint, m)
-	for a := 0; a < m; a++ {
+// getCons fills a pooled constraint scratch buffer with the predicate's
+// per-attribute constraints. Callers must return it with putCons.
+func (s *System) getCons(pred *query.Predicate) *[]query.Constraint {
+	consp := s.consPool.Get().(*[]query.Constraint)
+	cons := *consp
+	for a := range cons {
 		cons[a] = constraintFor(pred, a)
 	}
-	for _, t := range s.poly.terms {
-		total += s.evalTerm(t, cons)
+	return consp
+}
+
+func (s *System) putCons(consp *[]query.Constraint) { s.consPool.Put(consp) }
+
+// Total returns the incrementally maintained full polynomial value P in
+// O(1), without flushing the prefix caches — the solver's hot-path
+// accessor. Unlike Eval(nil) it does not establish the flushed-cache
+// handoff required before concurrent masked evaluation.
+func (s *System) Total() float64 { return s.total }
+
+// Eval computes P with every 1D variable that does not satisfy the
+// predicate's per-attribute constraint set to 0 (Sec. 4.2). A nil predicate
+// returns the incrementally maintained full polynomial value P after
+// flushing the prefix caches (use Total for the flush-free O(1) read).
+func (s *System) Eval(pred *query.Predicate) float64 {
+	if pred == nil {
+		// Flush the prefix caches even though the cached total does not
+		// need them: Eval(nil) is the documented way to make subsequent
+		// concurrent read-only (masked) evaluation safe.
+		s.refreshAll()
+		return s.total
 	}
+	s.refreshAll()
+	consp := s.getCons(pred)
+	total := 0.0
+	for _, t := range s.poly.terms {
+		total += s.evalTerm(t, *consp)
+	}
+	s.putCons(consp)
 	return total
 }
 
@@ -227,21 +408,71 @@ func (s *System) evalTerm(t term, cons []query.Constraint) float64 {
 // Deriv computes the partial derivative of the (masked) polynomial with
 // respect to the referenced variable. Because P is multi-linear, the
 // derivative is the sum over terms of the product of all other factors.
+// With a nil predicate the cached term factors answer it in O(terms
+// touching the variable).
 func (s *System) Deriv(ref VarRef, pred *query.Predicate) float64 {
-	s.refreshAll()
-	m := len(s.alpha)
-	cons := make([]query.Constraint, m)
-	for a := 0; a < m; a++ {
-		cons[a] = constraintFor(pred, a)
+	if pred == nil {
+		switch ref.Kind {
+		case OneD:
+			return s.derivOneDCached(ref.Attr, ref.Value)
+		case Multi:
+			return s.derivMultiCached(ref.Stat)
+		default:
+			panic(fmt.Sprintf("polynomial: unknown variable kind %d", ref.Kind))
+		}
 	}
+	s.refreshAll()
+	consp := s.getCons(pred)
+	defer s.putCons(consp)
 	switch ref.Kind {
 	case OneD:
-		return s.derivOneD(ref.Attr, ref.Value, cons)
+		return s.derivOneD(ref.Attr, ref.Value, *consp)
 	case Multi:
-		return s.derivMulti(ref.Stat, cons)
+		return s.derivMulti(ref.Stat, *consp)
 	default:
 		panic(fmt.Sprintf("polynomial: unknown variable kind %d", ref.Kind))
 	}
+}
+
+// exceptFactor returns term i's product of all factors except one whose
+// current value is f, read off the nz/zeros cache.
+func (s *System) exceptFactor(i int, f float64) float64 {
+	switch {
+	case s.zeros[i] == 0:
+		return s.nz[i] / f
+	case s.zeros[i] == 1 && f == 0:
+		return s.nz[i]
+	default:
+		return 0
+	}
+}
+
+// derivOneDCached computes ∂P/∂α_{attr,value} from the cached factors: the
+// touch and loose indexes together list exactly the terms whose effective
+// range contains the value, and the derivative removes the term's attr
+// factor.
+func (s *System) derivOneDCached(attr, value int) float64 {
+	total := 0.0
+	for _, ti := range s.poly.touch[attr][value] {
+		i := int(ti)
+		total += s.exceptFactor(i, s.fac[i][attr])
+	}
+	for _, ti := range s.poly.loose[attr] {
+		i := int(ti)
+		total += s.exceptFactor(i, s.fac[i][attr])
+	}
+	return total
+}
+
+// derivMultiCached computes ∂P/∂δ_stat from the cached factors: the terms
+// containing the statistic each carry a (δ_stat − 1) factor.
+func (s *System) derivMultiCached(stat int) float64 {
+	f := s.delta[stat] - 1
+	total := 0.0
+	for _, ti := range s.poly.statTerms[stat] {
+		total += s.exceptFactor(int(ti), f)
+	}
+	return total
 }
 
 func (s *System) derivOneD(attr, value int, cons []query.Constraint) float64 {
@@ -292,17 +523,8 @@ func (s *System) derivOneD(attr, value int, cons []query.Constraint) float64 {
 
 func (s *System) derivMulti(stat int, cons []query.Constraint) float64 {
 	total := 0.0
-	for _, t := range s.poly.terms {
-		contains := false
-		for _, j := range t.stats {
-			if j == stat {
-				contains = true
-				break
-			}
-		}
-		if !contains {
-			continue
-		}
+	for _, ti := range s.poly.statTerms[stat] {
+		t := s.poly.terms[ti]
 		prod := 1.0
 		k := 0
 		skip := false

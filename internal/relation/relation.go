@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/schema"
 )
@@ -122,33 +123,12 @@ rows:
 	return count
 }
 
-// GroupKey identifies one group in a group-by count; it is the tuple of
-// encoded values of the grouping attributes, in the order they were given.
-type GroupKey [4]int32
+// GroupKey identifies one group in a group-by count; it aliases the shared
+// core.GroupKey so every engine agrees on one key layout.
+type GroupKey = core.GroupKey
 
 // MakeGroupKey packs up to four encoded values into a GroupKey.
-func MakeGroupKey(values []int) GroupKey {
-	var k GroupKey
-	for i := range k {
-		k[i] = -1
-	}
-	for i, v := range values {
-		if i >= len(k) {
-			panic("relation: group-by supports at most 4 attributes")
-		}
-		k[i] = int32(v)
-	}
-	return k
-}
-
-// Values unpacks the first n values of the key.
-func (k GroupKey) Values(n int) []int {
-	out := make([]int, n)
-	for i := 0; i < n; i++ {
-		out[i] = int(k[i])
-	}
-	return out
-}
+func MakeGroupKey(values []int) GroupKey { return core.MakeGroupKey(values) }
 
 // GroupCounts returns the exact COUNT(*) per combination of values of the
 // grouping attributes among rows satisfying pred (pred may be nil). At most
@@ -230,6 +210,55 @@ func (r *Relation) FrequencyVector() ([]int, error) {
 		out[idx]++
 	}
 	return out, nil
+}
+
+// Slice returns a read-only view of the contiguous row range [lo, hi):
+// the view shares the column storage of the receiver, so it costs O(m)
+// regardless of the range size. Appending to either relation afterwards is
+// not supported. It is the horizontal-partitioning primitive the
+// partitioned summary builder is built on.
+func (r *Relation) Slice(lo, hi int) (*Relation, error) {
+	if lo < 0 || hi > r.rows || lo > hi {
+		return nil, fmt.Errorf("relation: slice [%d,%d) out of range [0,%d)", lo, hi, r.rows)
+	}
+	cols := make([][]int32, len(r.cols))
+	for a, col := range r.cols {
+		cols[a] = col[lo:hi:hi]
+	}
+	return &Relation{sch: r.sch, cols: cols, rows: hi - lo}, nil
+}
+
+// Partition splits the relation into k contiguous horizontal partitions of
+// near-equal size (the first rows%k partitions hold one extra row). The
+// partitions are read-only views sharing the receiver's storage. k is
+// clamped to [1, rows] so no partition is empty — except for an empty
+// relation, which yields a single empty partition.
+func (r *Relation) Partition(k int) []*Relation {
+	if k < 1 {
+		k = 1
+	}
+	if k > r.rows {
+		k = r.rows
+	}
+	if k <= 1 {
+		return []*Relation{r}
+	}
+	parts := make([]*Relation, 0, k)
+	base, extra := r.rows/k, r.rows%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		p, err := r.Slice(lo, lo+size)
+		if err != nil {
+			panic(err) // unreachable: bounds are derived from rows
+		}
+		parts = append(parts, p)
+		lo += size
+	}
+	return parts
 }
 
 // Select returns a new relation containing the rows with the given indexes

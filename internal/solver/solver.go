@@ -11,12 +11,25 @@
 //
 // Statistics with s_j = 0 are pinned at α_j = 0, the shortcut the paper
 // notes for ZERO-cell statistics.
+//
+// The sweep is organized in per-attribute blocks. Because P is multilinear
+// and the variables of one attribute never co-occur in a factor, the
+// partial derivative ∂P/∂α_{a,v} contains no α_{a,·} at all: within a
+// block, every derivative can be computed up front from the same state —
+// optionally in parallel on a worker pool — and the closed-form updates
+// then applied sequentially with exactly the Gauss–Seidel semantics of the
+// one-at-a-time sweep. The polynomial's incremental API makes each applied
+// update O(terms touching the variable): the cached P is maintained by
+// SetVar and never re-evaluated inside the loop, and once per sweep the
+// caches are resynchronized with a full evaluation so floating-point drift
+// cannot accumulate.
 package solver
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/polynomial"
@@ -62,6 +75,19 @@ type Options struct {
 	// positive target, protecting against numerical underflow (default
 	// 1e-12).
 	MinValue float64
+	// Relaxation is the over-relaxation exponent ω applied geometrically to
+	// every coordinate update, α ← α·(α*/α)^ω where α* is the closed-form
+	// solution. Zero means unset and selects the default 1, the plain
+	// update of Algorithm 1. Values in (1, 2) extrapolate past the
+	// coordinate optimum and accelerate the sublinear tail of coordinate
+	// descent; non-zero values outside (0, 2) are rejected.
+	Relaxation float64
+	// Workers sets the worker-pool size for the per-attribute derivative
+	// batches (default 1, fully sequential). Because the derivatives of one
+	// attribute's variables are independent of each other, computing them
+	// concurrently is exact — the solution is identical to the sequential
+	// sweep.
+	Workers int
 	// Progress, when non-nil, is called after every sweep with the sweep
 	// number and current maximum violation.
 	Progress func(sweep int, maxViolation float64)
@@ -79,6 +105,15 @@ func (o *Options) setDefaults() error {
 	}
 	if o.MinValue <= 0 {
 		o.MinValue = 1e-12
+	}
+	if o.Relaxation == 0 {
+		o.Relaxation = 1
+	}
+	if !(o.Relaxation > 0 && o.Relaxation < 2) { // also rejects NaN
+		return fmt.Errorf("solver: Options.Relaxation must lie in (0,2), got %g", o.Relaxation)
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return nil
 }
@@ -101,6 +136,43 @@ type Report struct {
 func (r Report) String() string {
 	return fmt.Sprintf("solver: %d constraints, %d sweeps, max violation %.3g, converged=%t, %s",
 		r.Constraints, r.Sweeps, r.MaxViolation, r.Converged, r.Duration.Round(time.Millisecond))
+}
+
+// block is one unit of the sweep: the constraints of a single attribute
+// (whose derivatives are mutually independent and may be batched), or a
+// single multi-dimensional constraint (whose derivative depends on the
+// other δ variables, so it is never batched with them).
+type block struct {
+	cs  []Constraint
+	pds []float64 // derivative scratch, len(cs)
+}
+
+// planBlocks groups the active constraints into sweep blocks, preserving
+// the first-occurrence order of attributes and the given order within each
+// block. When 1D constraints of one attribute interleave with other
+// constraints, grouping hoists them together, so the update order is the
+// grouped order — a fixed, deterministic permutation of the caller's order,
+// not the flat sweep itself.
+func planBlocks(active []Constraint) []block {
+	var blocks []block
+	attrBlock := make(map[int]int)
+	for _, c := range active {
+		if c.Var.Kind == polynomial.OneD {
+			bi, ok := attrBlock[c.Var.Attr]
+			if !ok {
+				bi = len(blocks)
+				attrBlock[c.Var.Attr] = bi
+				blocks = append(blocks, block{})
+			}
+			blocks[bi].cs = append(blocks[bi].cs, c)
+			continue
+		}
+		blocks = append(blocks, block{cs: []Constraint{c}})
+	}
+	for i := range blocks {
+		blocks[i].pds = make([]float64, len(blocks[i].cs))
+	}
+	return blocks
 }
 
 // Solve runs coordinate mirror descent on the system until convergence or
@@ -134,13 +206,30 @@ func Solve(sys *polynomial.System, constraints []Constraint, opts Options) (Repo
 		}
 		active = append(active, c)
 	}
+	blocks := planBlocks(active)
+
+	// One pool of goroutines serves every derivative batch of the run, so
+	// per-sweep batching does not pay a goroutine spawn per block.
+	var workers *workerPool
+	if opts.Workers > 1 {
+		workers = newWorkerPool(opts.Workers)
+		defer workers.close()
+	}
 
 	rep := Report{Constraints: len(constraints)}
 	for sweep := 1; sweep <= opts.MaxSweeps; sweep++ {
 		rep.Sweeps = sweep
-		for _, c := range active {
-			updateOne(sys, c, opts)
+		for bi := range blocks {
+			b := &blocks[bi]
+			derivBatch(sys, b, workers)
+			for i, c := range b.cs {
+				applyUpdate(sys, c, b.pds[i], opts)
+			}
 		}
+		// Resynchronize the incremental caches with a full evaluation
+		// before judging convergence, so sweep-to-sweep drift is bounded
+		// by one sweep's worth of incremental updates.
+		sys.Recompute()
 		rep.MaxViolation = maxViolation(sys, constraints, opts.N)
 		if opts.Progress != nil {
 			opts.Progress(sweep, rep.MaxViolation)
@@ -154,14 +243,73 @@ func Solve(sys *polynomial.System, constraints []Constraint, opts Options) (Repo
 	return rep, nil
 }
 
-// updateOne applies the closed-form coordinate update of Algorithm 1 to a
-// single constraint.
-func updateOne(sys *polynomial.System, c Constraint, opts Options) {
-	p := sys.Eval(nil)
+// workerPool is a fixed set of goroutines executing submitted closures,
+// created once per Solve so per-sweep derivative batches reuse the same
+// goroutines instead of spawning fresh ones per block.
+type workerPool struct {
+	jobs chan func()
+	size int
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func()), size: n}
+	for i := 0; i < n; i++ {
+		go func() {
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) close() { close(p.jobs) }
+
+// derivBatch fills b.pds with the partial derivatives of the block's
+// variables under the current assignment. Within a block the derivatives
+// are independent of the block's own variables, so they remain exact for
+// the whole sequential application pass, and computing them concurrently
+// (read-only use of the system) is safe.
+func derivBatch(sys *polynomial.System, b *block, pool *workerPool) {
+	workers := 1
+	if pool != nil {
+		workers = pool.size
+	}
+	if workers > len(b.cs) {
+		workers = len(b.cs)
+	}
+	if workers <= 1 {
+		for i, c := range b.cs {
+			b.pds[i] = sys.Deriv(c.Var, nil)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(b.cs) + workers - 1) / workers
+	for lo := 0; lo < len(b.cs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(b.cs) {
+			hi = len(b.cs)
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		pool.jobs <- func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				b.pds[i] = sys.Deriv(b.cs[i].Var, nil)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// applyUpdate applies the closed-form coordinate update of Algorithm 1 to a
+// single constraint, given the precomputed derivative pd of its variable.
+func applyUpdate(sys *polynomial.System, c Constraint, pd float64, opts Options) {
+	p := sys.Total()
 	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
 		return
 	}
-	pd := sys.Deriv(c.Var, nil)
 	if pd <= 0 {
 		// The variable does not influence P under the current assignment
 		// (for example, every complementary variable of its terms is 0);
@@ -177,7 +325,7 @@ func updateOne(sys *polynomial.System, c Constraint, opts Options) {
 	if denom <= 0 {
 		// Target equals the relation size: drive the variable as high as is
 		// numerically sensible so the statistic captures (almost) all mass.
-		sys.Set(c.Var, math.Max(cur, 1) * 1e6)
+		sys.Set(c.Var, math.Max(cur, 1)*1e6)
 		return
 	}
 	next := c.Target * rest / denom
@@ -187,13 +335,22 @@ func updateOne(sys *polynomial.System, c Constraint, opts Options) {
 	if math.IsNaN(next) || math.IsInf(next, 0) {
 		return
 	}
+	if w := opts.Relaxation; w != 1 && cur > 0 {
+		next = cur * math.Pow(next/cur, w)
+		if next < opts.MinValue {
+			next = opts.MinValue
+		}
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return
+		}
+	}
 	sys.Set(c.Var, next)
 }
 
 // maxViolation computes max_j |s_j − E[⟨c_j,I⟩]| / N over all constraints
 // with the current variable assignment.
 func maxViolation(sys *polynomial.System, constraints []Constraint, n float64) float64 {
-	p := sys.Eval(nil)
+	p := sys.Total()
 	if p <= 0 {
 		return math.Inf(1)
 	}
@@ -212,7 +369,7 @@ func maxViolation(sys *polynomial.System, constraints []Constraint, n float64) f
 // under the current assignment, index-aligned with constraints. It is used
 // by diagnostics and tests.
 func Violations(sys *polynomial.System, constraints []Constraint, n float64) []float64 {
-	p := sys.Eval(nil)
+	p := sys.Total()
 	out := make([]float64, len(constraints))
 	if p <= 0 {
 		for i := range out {
@@ -232,7 +389,7 @@ func Violations(sys *polynomial.System, constraints []Constraint, n float64) []f
 // contribution is 0·ln 0 = 0 in the limit). It is exposed for tests that
 // verify the coordinate updates never decrease Ψ.
 func Dual(sys *polynomial.System, constraints []Constraint, n float64) float64 {
-	p := sys.Eval(nil)
+	p := sys.Total()
 	if p <= 0 {
 		return math.Inf(-1)
 	}

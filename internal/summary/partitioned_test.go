@@ -1,0 +1,191 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/solver"
+)
+
+func buildPartitionedSolved(t *testing.T, rel *relation.Relation, opts PartitionedOptions) *Partitioned {
+	t.Helper()
+	if opts.Base.Solver.MaxSweeps == 0 {
+		opts.Base.Solver.MaxSweeps = 3000
+	}
+	if opts.Base.Solver.Tolerance == 0 {
+		opts.Base.Solver.Tolerance = 1e-8
+	}
+	p, err := BuildPartitioned(rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Converged() {
+		t.Fatalf("per-partition solves did not all converge: %v", p.SolverReports())
+	}
+	return p
+}
+
+// TestPartitionedK1MatchesSummary is the degenerate-partitioning
+// equivalence: with K = 1 the partitioned estimator runs the identical
+// pipeline over the identical rows, so every estimate must match the
+// single Summary to within numerical tolerance.
+func TestPartitionedK1MatchesSummary(t *testing.T) {
+	rel := testRelation(t, 2000, 7)
+	single := buildSolved(t, rel, Options{Solver: solver.Options{Tolerance: 1e-8, MaxSweeps: 3000}})
+	part := buildPartitionedSolved(t, rel, PartitionedOptions{Partitions: 1})
+	if got := part.NumPartitions(); got != 1 {
+		t.Fatalf("NumPartitions = %d, want 1", got)
+	}
+	n := float64(rel.NumRows())
+	preds := []*query.Predicate{
+		nil,
+		query.NewPredicate(3).WhereEq(0, 1),
+		query.NewPredicate(3).WhereRange(2, 1, 3),
+		query.NewPredicate(3).WhereEq(0, 2).WhereIn(1, 0, 2),
+	}
+	for _, pred := range preds {
+		a, err := single.EstimateCount(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := part.EstimateCount(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9*n {
+			t.Errorf("pred %v: summary %g, partitioned(K=1) %g", pred, a, b)
+		}
+	}
+	gs, err := single.EstimateGroupBy([]int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := part.EstimateGroupBy([]int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != len(gp) {
+		t.Fatalf("group counts differ: %d vs %d", len(gs), len(gp))
+	}
+	for i := range gs {
+		if gs[i].Values[0] != gp[i].Values[0] || math.Abs(gs[i].Estimate-gp[i].Estimate) > 1e-9*n {
+			t.Errorf("group %d: summary %v=%g, partitioned %v=%g",
+				i, gs[i].Values, gs[i].Estimate, gp[i].Values, gp[i].Estimate)
+		}
+	}
+}
+
+// TestPartitionedUniformPartitionsMatchSingle replicates one block of rows
+// K times, so every contiguous partition holds the exact same tuple
+// multiset. The K per-partition models are then identical, and their sum
+// must agree with the single summary over the whole relation (whose
+// statistics are the block's scaled by K, yielding the same distribution).
+func TestPartitionedUniformPartitionsMatchSingle(t *testing.T) {
+	const k = 4
+	block := testRelation(t, 500, 21)
+	whole := relation.NewWithCapacity(block.Schema(), k*block.NumRows())
+	buf := make([]int, block.NumAttrs())
+	for rep := 0; rep < k; rep++ {
+		for i := 0; i < block.NumRows(); i++ {
+			whole.MustAppend(block.Row(i, buf))
+		}
+	}
+	single := buildSolved(t, whole, Options{Solver: solver.Options{Tolerance: 1e-9, MaxSweeps: 5000}})
+	part := buildPartitionedSolved(t, whole, PartitionedOptions{
+		Partitions: k,
+		Base:       Options{Solver: solver.Options{Tolerance: 1e-9, MaxSweeps: 5000}},
+	})
+	n := float64(whole.NumRows())
+	preds := []*query.Predicate{
+		query.NewPredicate(3).WhereEq(0, 0),
+		query.NewPredicate(3).WhereEq(1, 2),
+		query.NewPredicate(3).WhereRange(2, 0, 2),
+		query.NewPredicate(3).WhereEq(0, 3).WhereEq(1, 0),
+	}
+	for _, pred := range preds {
+		a, err := single.EstimateCount(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := part.EstimateCount(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both models satisfy the same constraints to solver tolerance;
+		// allow a loose numerical band well below any modeling difference.
+		if math.Abs(a-b) > 1e-4*n {
+			t.Errorf("pred %v: single %g, partitioned(K=%d, uniform) %g", pred, a, k, b)
+		}
+	}
+}
+
+// TestPartitionedEstimatesSumToN checks the counting identity: summing the
+// per-value estimates of one attribute over its whole domain must give the
+// total cardinality (each partition's masked evaluations sum to n_k).
+func TestPartitionedEstimatesSumToN(t *testing.T) {
+	rel := testRelation(t, 3000, 31)
+	part := buildPartitionedSolved(t, rel, PartitionedOptions{Partitions: 3})
+	if got, err := part.EstimateCount(nil); err != nil || got != float64(rel.NumRows()) {
+		t.Fatalf("EstimateCount(nil) = %g, %v; want %d", got, err, rel.NumRows())
+	}
+	total := 0.0
+	for v := 0; v < part.Schema().Attr(0).Size(); v++ {
+		est, err := part.EstimateCount(query.NewPredicate(3).WhereEq(0, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += est
+	}
+	if math.Abs(total-float64(rel.NumRows())) > 1e-3 {
+		t.Errorf("per-value estimates sum to %g, want %d", total, rel.NumRows())
+	}
+	// Group-by must agree with per-value counting after the merge.
+	groups, err := part.EstimateGroupBy([]int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, g := range groups {
+		sum += g.Estimate
+	}
+	if math.Abs(sum-total) > 1e-6*float64(rel.NumRows()) {
+		t.Errorf("merged group estimates sum to %g, per-value sum is %g", sum, total)
+	}
+}
+
+// TestPartitionedValidation pins the builder's error paths and the
+// footprint accounting.
+func TestPartitionedValidation(t *testing.T) {
+	rel := testRelation(t, 600, 3)
+	if _, err := BuildPartitioned(relation.New(rel.Schema()), PartitionedOptions{}); err == nil {
+		t.Error("empty relation accepted")
+	}
+	if _, err := BuildPartitioned(rel, PartitionedOptions{Partitions: -2}); err == nil {
+		t.Error("negative partition count accepted")
+	}
+	// This test exercises validation and accounting only, so the solve is
+	// not required to converge (small partitions converge sublinearly).
+	part, err := BuildPartitioned(rel, PartitionedOptions{
+		Partitions: 2,
+		Workers:    2,
+		Base:       Options{Solver: solver.Options{Tolerance: 1e-6, MaxSweeps: 500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := part.EstimateCount(query.NewPredicate(9)); err == nil {
+		t.Error("wrong-arity predicate accepted")
+	}
+	if _, err := part.EstimateGroupBy([]int{99}, nil); err == nil {
+		t.Error("out-of-range group attribute accepted")
+	}
+	var sum int64
+	for k := 0; k < part.NumPartitions(); k++ {
+		sum += part.Partition(k).ApproxBytes()
+	}
+	if part.ApproxBytes() != sum {
+		t.Errorf("ApproxBytes = %d, per-partition sum = %d", part.ApproxBytes(), sum)
+	}
+}
