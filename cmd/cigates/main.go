@@ -1,0 +1,124 @@
+// Command cigates runs the repository's CI quality gates.
+//
+// Benchmark regression gate (fails on >30% geomean slowdown by default):
+//
+//	go test ./internal/polynomial ./internal/solver -bench . -run '^$' > current.txt
+//	go run ./cmd/cigates bench -baseline BENCH_baseline.txt -current current.txt
+//
+// Golden accuracy gate (fails on any deterministic-field drift > 1e-9):
+//
+//	go run ./cmd/experiment -seed 1 > report.json
+//	go run ./cmd/cigates golden -golden testdata/golden_report.json -current report.json
+//
+// Refresh the baselines after an intentional change with:
+//
+//	go test ./internal/polynomial ./internal/solver -bench . -run '^$' | tee BENCH_baseline.txt
+//	go run ./cmd/experiment -seed 1 > testdata/golden_report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ci"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "bench":
+		benchGate(os.Args[2:])
+	case "golden":
+		goldenGate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cigates bench -baseline FILE -current FILE [-tolerance 0.30]")
+	fmt.Fprintln(os.Stderr, "       cigates golden -golden FILE -current FILE [-tolerance 1e-9]")
+	os.Exit(2)
+}
+
+func benchGate(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_baseline.txt", "committed baseline benchmark output")
+	current := fs.String("current", "", "benchmark output of the current tree")
+	tolerance := fs.Float64("tolerance", 0.30, "allowed geomean slowdown (0.30 = 30%)")
+	_ = fs.Parse(args)
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "cigates bench: -current is required")
+		os.Exit(2)
+	}
+	base := mustParseBench(*baseline)
+	cur := mustParseBench(*current)
+	cmp, err := ci.CompareBench(base, cur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates bench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(cmp.String())
+	if err := cmp.Gate(*tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "cigates: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench gate passed: geomean %.2fx within the %.2fx budget\n", cmp.Geomean, 1+*tolerance)
+}
+
+func mustParseBench(path string) map[string]float64 {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates bench: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	m, err := ci.ParseBench(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates bench: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(m) == 0 {
+		fmt.Fprintf(os.Stderr, "cigates bench: %s contains no benchmark lines\n", path)
+		os.Exit(2)
+	}
+	return m
+}
+
+func goldenGate(args []string) {
+	fs := flag.NewFlagSet("golden", flag.ExitOnError)
+	golden := fs.String("golden", "testdata/golden_report.json", "committed golden report")
+	current := fs.String("current", "", "report of the current tree")
+	tolerance := fs.Float64("tolerance", 1e-9, "allowed absolute drift per numeric field")
+	_ = fs.Parse(args)
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "cigates golden: -current is required")
+		os.Exit(2)
+	}
+	g, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates golden: %v\n", err)
+		os.Exit(2)
+	}
+	c, err := os.ReadFile(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates golden: %v\n", err)
+		os.Exit(2)
+	}
+	diffs, err := ci.CompareReports(g, c, *tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates golden: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "cigates: golden gate failed, %d field(s) drifted beyond %g:\n", len(diffs), *tolerance)
+		for _, d := range diffs {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("golden gate passed: accuracy metrics identical within tolerance")
+}

@@ -18,9 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/experiment"
-	"repro/internal/relation"
 	"repro/internal/sampling"
-	"repro/internal/schema"
 	"repro/internal/solver"
 	"repro/internal/stats"
 	"repro/internal/summary"
@@ -42,12 +40,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validate(*rows, *queries, *rate, *partitions, *sweeps); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+		os.Exit(2)
+	}
 	h, err := stats.ParseHeuristic(*heuristic)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+		os.Exit(2)
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	rel := syntheticRelation(*rows, rng)
+	rel := experiment.SyntheticRelation(*rows, rng)
 	sch := rel.Schema()
 	fmt.Fprintf(os.Stderr, "relation: %s, %d rows\n", sch, rel.NumRows())
 
@@ -106,33 +109,24 @@ func main() {
 	}
 }
 
-// syntheticRelation draws a relation with a strongly correlated attribute
-// pair (region determines most of product), one weakly dependent
-// attribute, and an independent binned measure — enough structure for the
-// 2D statistics to matter.
-func syntheticRelation(rows int, rng *rand.Rand) *relation.Relation {
-	sch := schema.MustNew(
-		schema.MustCategorical("region", []string{"NA", "EU", "APAC", "LATAM"}),
-		schema.MustCategorical("product", []string{"a", "b", "c", "d", "e", "f"}),
-		schema.MustCategorical("channel", []string{"web", "store", "phone"}),
-		schema.MustBinned("amount", 0, 1000, 8),
-	)
-	rel := relation.NewWithCapacity(sch, rows)
-	for i := 0; i < rows; i++ {
-		region := rng.Intn(4)
-		product := (region + rng.Intn(2)) % 6 // product tracks region closely
-		if rng.Float64() < 0.1 {
-			product = rng.Intn(6)
-		}
-		channel := rng.Intn(3)
-		if region == 2 && rng.Float64() < 0.5 {
-			channel = 0 // APAC skews to web
-		}
-		amountBin, err := sch.Attr(3).Bin(rng.Float64() * 1000)
-		if err != nil {
-			panic(err)
-		}
-		rel.MustAppend([]int{region, product, channel, amountBin})
+// validate rejects nonsensical flag values up front with actionable
+// messages, instead of letting them panic or log.Fatal deep inside the
+// pipeline.
+func validate(rows, queries int, rate float64, partitions, sweeps int) error {
+	if rows <= 0 {
+		return fmt.Errorf("-rows must be positive, got %d", rows)
 	}
-	return rel
+	if queries <= 0 {
+		return fmt.Errorf("-queries must be positive, got %d", queries)
+	}
+	if rate <= 0 || rate > 1 {
+		return fmt.Errorf("-rate must be in (0,1], got %g", rate)
+	}
+	if partitions < 0 {
+		return fmt.Errorf("-partitions must be non-negative, got %d", partitions)
+	}
+	if sweeps <= 0 {
+		return fmt.Errorf("-sweeps must be positive, got %d", sweeps)
+	}
+	return nil
 }

@@ -1,0 +1,132 @@
+// Command summaryd is the long-lived serving shape of the reproduction: it
+// builds MaxEnt summaries (plus optional partitioned summaries and
+// sampling baselines) over a dataset, registers them in the estimator
+// registry, and serves counting and group-by queries over HTTP/JSON with
+// an LRU result cache, admission control, and latency/QPS metrics.
+//
+// Endpoints: POST /query, POST /groupby, GET /estimators, GET /healthz,
+// GET /metrics. See the README's "Serving summaries" section for a curl
+// walkthrough. The process shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/server"
+	"repro/internal/solver"
+	"repro/internal/stats"
+	"repro/internal/summary"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataset    = flag.String("dataset", "demo", "dataset name estimators are registered under")
+		rows       = flag.Int("rows", 20000, "synthetic relation cardinality")
+		seed       = flag.Int64("seed", 1, "seed for data and samples")
+		rate       = flag.Float64("rate", 0.01, "sampling rate of the baselines (0 disables them)")
+		pairBudget = flag.Int("pairs", 2, "attribute pairs receiving 2D statistics (B_a)")
+		perPair    = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
+		heuristic  = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
+		sweeps     = flag.Int("sweeps", 200, "solver sweep budget")
+		relax      = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
+		solverWork = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
+		partitions = flag.Int("partitions", 0, "when > 0, also serve a K-way partitioned summary")
+		noExact    = flag.Bool("no-exact", false, "do not serve the exact full-scan engine")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-request handling timeout")
+		maxConc    = flag.Int("max-concurrent", 64, "maximum concurrent estimator evaluations")
+		cacheSize  = flag.Int("cache", 4096, "result-cache capacity in entries (-1 disables)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	if err := validate(*rows, *rate, *partitions, *sweeps); err != nil {
+		fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
+		os.Exit(2)
+	}
+	h, err := stats.ParseHeuristic(*heuristic)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
+		os.Exit(2)
+	}
+
+	rel := experiment.SyntheticRelation(*rows, rand.New(rand.NewSource(*seed)))
+	log.Printf("dataset %q: %s, %d rows", *dataset, rel.Schema(), rel.NumRows())
+
+	reg := server.NewRegistry()
+	buildStart := time.Now()
+	names, err := server.BuildDataset(reg, *dataset, rel, server.DatasetOptions{
+		Summary: summary.Options{
+			PairBudget:    *pairBudget,
+			PerPairBudget: *perPair,
+			Heuristic:     h,
+			Solver:        solver.Options{MaxSweeps: *sweeps, Relaxation: *relax, Workers: *solverWork},
+		},
+		Partitions: *partitions,
+		SampleRate: *rate,
+		SampleSeed: *seed,
+		SkipExact:  *noExact,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("built %d estimators in %v: %v", len(names), time.Since(buildStart).Round(time.Millisecond), names)
+
+	srv := server.New(reg, server.Options{
+		Timeout:       *timeout,
+		MaxConcurrent: *maxConc,
+		CacheSize:     *cacheSize,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// validate rejects nonsensical flag combinations up front, before any work
+// is attempted.
+func validate(rows int, rate float64, partitions, sweeps int) error {
+	if rows <= 0 {
+		return fmt.Errorf("-rows must be positive, got %d", rows)
+	}
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("-rate must be in [0,1] (0 disables the baselines), got %g", rate)
+	}
+	if partitions < 0 {
+		return fmt.Errorf("-partitions must be non-negative, got %d", partitions)
+	}
+	if sweeps <= 0 {
+		return fmt.Errorf("-sweeps must be positive, got %d", sweeps)
+	}
+	return nil
+}

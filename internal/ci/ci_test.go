@@ -1,0 +1,238 @@
+package ci
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/polynomial
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSystemEvalFull-8      	177859011	         6.710 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSystemEvalMasked-8    	     68254	     17600 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSolverShapedSweep-8   	   4633812	       259.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/polynomial	5.118s
+BenchmarkSolve-30             	       277	   4333199 ns/op	   29936 B/op	     139 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSystemEvalFull":    6.710,
+		"BenchmarkSystemEvalMasked":  17600,
+		"BenchmarkSolverShapedSweep": 259.0,
+		"BenchmarkSolve":             4333199,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchAveragesRepeats(t *testing.T) {
+	out := "BenchmarkX-8 100 10.0 ns/op\nBenchmarkX-8 100 30.0 ns/op\n"
+	got, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 20.0 {
+		t.Fatalf("BenchmarkX = %v, want 20.0 (mean of repeats)", got["BenchmarkX"])
+	}
+}
+
+// TestBenchGateFailsOnInjectedRegression is the acceptance check for the
+// regression gate: a 2x slowdown on every hot path must fail, a run within
+// tolerance must pass.
+func TestBenchGateFailsOnInjectedRegression(t *testing.T) {
+	base, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical run: geomean exactly 1, passes.
+	cmp, err := CompareBench(base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Geomean != 1.0 {
+		t.Fatalf("self-comparison geomean = %v, want 1.0", cmp.Geomean)
+	}
+	if err := cmp.Gate(0.30); err != nil {
+		t.Fatalf("self-comparison failed the gate: %v", err)
+	}
+
+	// Injected regression: everything 2x slower fails the 30% budget.
+	slow := make(map[string]float64, len(base))
+	for name, ns := range base {
+		slow[name] = 2 * ns
+	}
+	cmp, err = CompareBench(base, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Gate(0.30); err == nil {
+		t.Fatal("2x regression passed the 30% gate")
+	} else if !strings.Contains(err.Error(), "geomean slowdown 2.00x") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// A single benchmark regressing 2x among four moves the geomean to
+	// 2^(1/4) ≈ 1.19 — inside the 30% budget by design (benchstat-style
+	// aggregate, not per-benchmark).
+	one := make(map[string]float64, len(base))
+	for name, ns := range base {
+		one[name] = ns
+	}
+	one["BenchmarkSolve"] *= 2
+	cmp, err = CompareBench(base, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Gate(0.30); err != nil {
+		t.Fatalf("single 2x regression among 4 should pass the geomean gate: %v", err)
+	}
+
+	// Within-noise slowdown (10% across the board) passes.
+	noisy := make(map[string]float64, len(base))
+	for name, ns := range base {
+		noisy[name] = 1.1 * ns
+	}
+	cmp, err = CompareBench(base, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Gate(0.30); err != nil {
+		t.Fatalf("10%% slowdown failed the 30%% gate: %v", err)
+	}
+}
+
+func TestBenchGateFailsOnMissingBenchmark(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 10, "BenchmarkB": 20}
+	cur := map[string]float64{"BenchmarkA": 10}
+	cmp, err := CompareBench(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Gate(0.30); err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Fatalf("missing benchmark not reported: %v", err)
+	}
+}
+
+// sampleReport fabricates a deterministic experiment report.
+func sampleReport() *experiment.Report {
+	return &experiment.Report{
+		Rows:       1000,
+		Schema:     "R(a:4, b:6)",
+		NumQueries: 2,
+		Estimators: []experiment.EstimatorReport{{
+			Estimator:    "maxent[COMPOSITE,Ba=2,Bs=8]",
+			ApproxBytes:  680,
+			CountErrors:  metrics.ErrorSummary{Count: 1, Mean: 0.015, Median: 0.015, P95: 0.015, Max: 0.015},
+			GroupErrors:  metrics.ErrorSummary{Count: 1, Mean: 0.12, Median: 0.12, P95: 0.12, Max: 0.12},
+			MeanFMeasure: 0.9,
+			// Latency fields differ between runs and must be ignored.
+			TotalLatencyNS: 123456,
+			Queries: []experiment.QueryScore{
+				{Query: "q000", Kind: "count", Truth: 250, Estimate: 253.5, RelativeError: 0.015, LatencyNS: 999},
+				{Query: "q001", Kind: "groupby", RelativeError: 0.12, FMeasure: 0.9, LatencyNS: 888},
+			},
+		}},
+		ElapsedNS:   555555,
+		WorkerCount: 8,
+	}
+}
+
+func mustJSON(t *testing.T, r *experiment.Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenGateIgnoresLatency asserts that two runs differing only in
+// timing fields compare clean.
+func TestGoldenGateIgnoresLatency(t *testing.T) {
+	golden := sampleReport()
+	current := sampleReport()
+	current.ElapsedNS = 1
+	current.WorkerCount = 2
+	current.Estimators[0].TotalLatencyNS = 1
+	for i := range current.Estimators[0].Queries {
+		current.Estimators[0].Queries[i].LatencyNS = 1
+	}
+	diffs, err := CompareReports(mustJSON(t, golden), mustJSON(t, current), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("latency-only changes reported as drift: %v", diffs)
+	}
+}
+
+// TestGoldenGateFailsOnInjectedDrift is the acceptance check for the
+// accuracy gate: a 1e-8 drift on one error metric must fail at 1e-9
+// tolerance, and sub-tolerance drift must pass.
+func TestGoldenGateFailsOnInjectedDrift(t *testing.T) {
+	golden := sampleReport()
+
+	drifted := sampleReport()
+	drifted.Estimators[0].CountErrors.Mean += 1e-8
+	diffs, err := CompareReports(mustJSON(t, golden), mustJSON(t, drifted), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("1e-8 drift passed the 1e-9 gate")
+	}
+	if !strings.Contains(diffs[0], "count_errors.mean") {
+		t.Fatalf("drift reported on the wrong field: %v", diffs)
+	}
+
+	tiny := sampleReport()
+	tiny.Estimators[0].CountErrors.Mean += 1e-12
+	diffs, err = CompareReports(mustJSON(t, golden), mustJSON(t, tiny), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("sub-tolerance drift failed the gate: %v", diffs)
+	}
+
+	// A changed estimate (the accuracy-bearing field) is caught too.
+	wrong := sampleReport()
+	wrong.Estimators[0].Queries[0].Estimate += 0.5
+	diffs, err = CompareReports(mustJSON(t, golden), mustJSON(t, wrong), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("estimate drift passed the gate")
+	}
+
+	// Structural drift (a dropped query) is caught.
+	short := sampleReport()
+	short.Estimators[0].Queries = short.Estimators[0].Queries[:1]
+	diffs, err = CompareReports(mustJSON(t, golden), mustJSON(t, short), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("dropped query passed the gate")
+	}
+}

@@ -1,0 +1,109 @@
+package ci
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/experiment"
+)
+
+// CompareReports diffs a current cmd/experiment report against the
+// committed golden report on its deterministic fields — accuracy metrics,
+// estimates, footprints, and workload identity — ignoring every latency
+// and elapsed-time field. Numeric fields must agree within tol (absolute).
+// The returned slice lists every difference (empty means the gate passes).
+func CompareReports(golden, current []byte, tol float64) ([]string, error) {
+	var g, c experiment.Report
+	if err := json.Unmarshal(golden, &g); err != nil {
+		return nil, fmt.Errorf("ci: golden report: %w", err)
+	}
+	if err := json.Unmarshal(current, &c); err != nil {
+		return nil, fmt.Errorf("ci: current report: %w", err)
+	}
+	var diffs []string
+	add := func(format string, args ...interface{}) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	neq := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return !(math.IsNaN(a) && math.IsNaN(b))
+		}
+		return math.Abs(a-b) > tol
+	}
+
+	if g.Rows != c.Rows {
+		add("rows: golden %d, current %d", g.Rows, c.Rows)
+	}
+	if g.Schema != c.Schema {
+		add("schema: golden %q, current %q", g.Schema, c.Schema)
+	}
+	if g.NumQueries != c.NumQueries {
+		add("num_queries: golden %d, current %d", g.NumQueries, c.NumQueries)
+	}
+	if len(g.Estimators) != len(c.Estimators) {
+		add("estimator count: golden %d, current %d", len(g.Estimators), len(c.Estimators))
+		return diffs, nil
+	}
+	for i := range g.Estimators {
+		ge, ce := &g.Estimators[i], &c.Estimators[i]
+		label := ge.Estimator
+		if ge.Estimator != ce.Estimator {
+			add("estimator %d: golden %q, current %q", i, ge.Estimator, ce.Estimator)
+			continue
+		}
+		if ge.ApproxBytes != ce.ApproxBytes {
+			add("%s: approx_bytes golden %d, current %d", label, ge.ApproxBytes, ce.ApproxBytes)
+		}
+		if ge.Failures != ce.Failures {
+			add("%s: failures golden %d, current %d", label, ge.Failures, ce.Failures)
+		}
+		if neq(ge.MeanFMeasure, ce.MeanFMeasure) {
+			add("%s: mean_f_measure golden %v, current %v", label, ge.MeanFMeasure, ce.MeanFMeasure)
+		}
+		diffSummary := func(kind string, gs, cs [5]float64) {
+			fields := [5]string{"count", "mean", "median", "p95", "max"}
+			for j := range gs {
+				if neq(gs[j], cs[j]) {
+					add("%s: %s_errors.%s golden %v, current %v", label, kind, fields[j], gs[j], cs[j])
+				}
+			}
+		}
+		diffSummary("count",
+			[5]float64{float64(ge.CountErrors.Count), ge.CountErrors.Mean, ge.CountErrors.Median, ge.CountErrors.P95, ge.CountErrors.Max},
+			[5]float64{float64(ce.CountErrors.Count), ce.CountErrors.Mean, ce.CountErrors.Median, ce.CountErrors.P95, ce.CountErrors.Max})
+		diffSummary("group",
+			[5]float64{float64(ge.GroupErrors.Count), ge.GroupErrors.Mean, ge.GroupErrors.Median, ge.GroupErrors.P95, ge.GroupErrors.Max},
+			[5]float64{float64(ce.GroupErrors.Count), ce.GroupErrors.Mean, ce.GroupErrors.Median, ce.GroupErrors.P95, ce.GroupErrors.Max})
+
+		if len(ge.Queries) != len(ce.Queries) {
+			add("%s: query count golden %d, current %d", label, len(ge.Queries), len(ce.Queries))
+			continue
+		}
+		for j := range ge.Queries {
+			gq, cq := &ge.Queries[j], &ce.Queries[j]
+			qlabel := fmt.Sprintf("%s %s", label, gq.Query)
+			if gq.Query != cq.Query || gq.Kind != cq.Kind {
+				add("%s: query identity golden %s/%s, current %s/%s", label, gq.Query, gq.Kind, cq.Query, cq.Kind)
+				continue
+			}
+			if gq.Err != cq.Err {
+				add("%s: error golden %q, current %q", qlabel, gq.Err, cq.Err)
+				continue
+			}
+			if neq(gq.Truth, cq.Truth) {
+				add("%s: truth golden %v, current %v", qlabel, gq.Truth, cq.Truth)
+			}
+			if neq(gq.Estimate, cq.Estimate) {
+				add("%s: estimate golden %v, current %v", qlabel, gq.Estimate, cq.Estimate)
+			}
+			if neq(gq.RelativeError, cq.RelativeError) {
+				add("%s: relative_error golden %v, current %v", qlabel, gq.RelativeError, cq.RelativeError)
+			}
+			if neq(gq.FMeasure, cq.FMeasure) {
+				add("%s: f_measure golden %v, current %v", qlabel, gq.FMeasure, cq.FMeasure)
+			}
+		}
+	}
+	return diffs, nil
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// LoadOptions configure DriveHTTP.
+type LoadOptions struct {
+	// Concurrency is the number of in-flight requests (default GOMAXPROCS).
+	Concurrency int
+	// Repeat replays the workload this many times (default 1). Repeats > 1
+	// re-issue identical queries, so they measure the server's cache path.
+	Repeat int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadResult aggregates one load-generation run; it is the payload
+// cmd/loadgen prints and the number source of BENCH.md's serving table.
+type LoadResult struct {
+	Estimator     string  `json:"estimator"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	LatencyP50NS  int64   `json:"latency_p50_ns"`
+	LatencyP95NS  int64   `json:"latency_p95_ns"`
+	LatencyMeanNS int64   `json:"latency_mean_ns"`
+	// CachedResponses counts answers the server reported as cache hits.
+	CachedResponses int `json:"cached_responses"`
+	// FirstError carries one representative failure for diagnostics.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// DriveHTTP replays the workload against a running summaryd instance at
+// baseURL, fanning requests out over a bounded set of workers, and returns
+// client-side throughput and latency aggregates. It is the HTTP face of
+// the same workloads Run scores in-process, which makes serving overhead
+// directly comparable to direct Estimator calls.
+func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*LoadResult, error) {
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiment: the workload is empty")
+	}
+	if estimator == "" {
+		return nil, fmt.Errorf("experiment: an estimator name is required")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if opts.Repeat <= 0 {
+		opts.Repeat = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+
+	// Pre-marshal every request body once so the measured path is pure
+	// request/response handling.
+	type call struct {
+		path string
+		body []byte
+	}
+	calls := make([]call, len(workload))
+	for i, q := range workload {
+		var (
+			b   []byte
+			err error
+		)
+		path := "/query"
+		if q.IsGroupBy() {
+			path = "/groupby"
+			b, err = json.Marshal(server.GroupByRequest{Estimator: estimator, Predicate: q.Pred, GroupBy: q.GroupBy})
+		} else {
+			b, err = json.Marshal(server.QueryRequest{Estimator: estimator, Predicate: q.Pred})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiment: marshal %s: %w", q.Name, err)
+		}
+		calls[i] = call{path: path, body: b}
+	}
+
+	client := &http.Client{Timeout: opts.Timeout}
+	total := len(calls) * opts.Repeat
+	jobs := make(chan int)
+	// -1 marks requests that failed in transport and produced no
+	// server-observed latency; they are excluded from the quantiles.
+	latencies := make([]int64, total)
+	for i := range latencies {
+		latencies[i] = -1
+	}
+	var (
+		mu         sync.Mutex
+		errCount   int
+		cachedHits int
+		firstErr   string
+	)
+	fail := func(msg string) {
+		mu.Lock()
+		errCount++
+		if firstErr == "" {
+			firstErr = msg
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				c := calls[j%len(calls)]
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+c.path, "application/json", bytes.NewReader(c.body))
+				if err != nil {
+					fail(err.Error())
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				latencies[j] = time.Since(t0).Nanoseconds()
+				if rerr != nil {
+					fail(rerr.Error())
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Sprintf("status %d: %s", resp.StatusCode, body))
+					continue
+				}
+				var probe struct {
+					Cached bool `json:"cached"`
+				}
+				if json.Unmarshal(body, &probe) == nil && probe.Cached {
+					mu.Lock()
+					cachedHits++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for j := 0; j < total; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Estimator:       estimator,
+		Requests:        total,
+		Errors:          errCount,
+		ElapsedNS:       elapsed.Nanoseconds(),
+		CachedResponses: cachedHits,
+		FirstError:      firstErr,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.ThroughputQPS = float64(total) / secs
+	}
+	measured := latencies[:0]
+	for _, l := range latencies {
+		if l >= 0 {
+			measured = append(measured, l)
+		}
+	}
+	if n := len(measured); n > 0 {
+		var sum int64
+		for _, l := range measured {
+			sum += l
+		}
+		res.LatencyMeanNS = sum / int64(n)
+		sort.Slice(measured, func(i, j int) bool { return measured[i] < measured[j] })
+		res.LatencyP50NS = measured[int(0.50*float64(n-1))]
+		res.LatencyP95NS = measured[int(0.95*float64(n-1))]
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package experiment_test
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/experiment"
+	"repro/internal/server"
+)
+
+// TestDriveHTTP spins up a real server over the exact engine and replays a
+// workload through the load generator twice: the second pass must be
+// served from the result cache, and the aggregates must be internally
+// consistent.
+func TestDriveHTTP(t *testing.T) {
+	rel := experiment.SyntheticRelation(2000, rand.New(rand.NewSource(3)))
+	reg := server.NewRegistry()
+	if err := reg.Register("demo/exact", exact.New(rel), rel.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	workload := experiment.GenerateWorkload(rel.Schema(), 30, rand.New(rand.NewSource(4)))
+	res, err := experiment.DriveHTTP(ts.URL, "demo/exact", workload, experiment.LoadOptions{
+		Concurrency: 4,
+		Repeat:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d request errors, first: %s", res.Errors, res.FirstError)
+	}
+	if res.Requests != 60 {
+		t.Fatalf("requests = %d, want 60", res.Requests)
+	}
+	// The second replay (and any duplicate queries in the first) hits the
+	// cache: at least the 30 repeats must come back cached.
+	if res.CachedResponses < 30 {
+		t.Fatalf("cached_responses = %d, want >= 30", res.CachedResponses)
+	}
+	if res.ThroughputQPS <= 0 || res.LatencyP50NS <= 0 || res.LatencyP95NS < res.LatencyP50NS {
+		t.Fatalf("inconsistent aggregates: %+v", res)
+	}
+
+	// Unknown estimator: every request fails, reported not swallowed.
+	res, err = experiment.DriveHTTP(ts.URL, "demo/missing", workload[:3], experiment.LoadOptions{Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 3 || res.FirstError == "" {
+		t.Fatalf("errors = %d (%q), want 3 with a representative message", res.Errors, res.FirstError)
+	}
+
+	// Transport failures (server gone) must not pollute the latency
+	// quantiles with zero samples.
+	ts.Close()
+	res, err = experiment.DriveHTTP(ts.URL, "demo/exact", workload[:3], experiment.LoadOptions{Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 3 {
+		t.Fatalf("errors = %d, want 3 after server shutdown", res.Errors)
+	}
+	if res.LatencyP50NS != 0 || res.LatencyMeanNS != 0 {
+		t.Fatalf("all-failed run reported latencies: %+v", res)
+	}
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// SyntheticSchema returns the schema of the repository's standard
+// correlated test relation: a strongly correlated (region, product) pair,
+// a weakly dependent channel, and an independent binned measure.
+func SyntheticSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustCategorical("region", []string{"NA", "EU", "APAC", "LATAM"}),
+		schema.MustCategorical("product", []string{"a", "b", "c", "d", "e", "f"}),
+		schema.MustCategorical("channel", []string{"web", "store", "phone"}),
+		schema.MustBinned("amount", 0, 1000, 8),
+	)
+}
+
+// SyntheticRelation draws rows tuples from the standard correlated
+// distribution: product tracks region closely (with 10% noise), APAC skews
+// to the web channel, and amount is uniform over its bins — enough
+// structure for the 2D statistics to matter. It is the shared data
+// generator of cmd/experiment and cmd/summaryd, so the golden accuracy
+// gate and the serving benchmarks exercise the same distribution.
+func SyntheticRelation(rows int, rng *rand.Rand) *relation.Relation {
+	sch := SyntheticSchema()
+	rel := relation.NewWithCapacity(sch, rows)
+	for i := 0; i < rows; i++ {
+		region := rng.Intn(4)
+		product := (region + rng.Intn(2)) % 6
+		if rng.Float64() < 0.1 {
+			product = rng.Intn(6)
+		}
+		channel := rng.Intn(3)
+		if region == 2 && rng.Float64() < 0.5 {
+			channel = 0
+		}
+		amountBin, err := sch.Attr(3).Bin(rng.Float64() * 1000)
+		if err != nil {
+			panic(err)
+		}
+		rel.MustAppend([]int{region, product, channel, amountBin})
+	}
+	return rel
+}

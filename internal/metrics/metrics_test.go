@@ -61,10 +61,10 @@ func TestRareValueOutcome(t *testing.T) {
 	if r := o.Recall(); r != 0 {
 		t.Errorf("empty Recall = %g, want 0", r)
 	}
-	o.AddLightHitter(0.6)  // rounds to 1: true positive
-	o.AddLightHitter(0.4)  // rounds to 0: miss
-	o.AddNull(2)           // phantom tuple: false positive
-	o.AddNull(0.2)         // correctly absent
+	o.AddLightHitter(0.6) // rounds to 1: true positive
+	o.AddLightHitter(0.4) // rounds to 0: miss
+	o.AddNull(2)          // phantom tuple: false positive
+	o.AddNull(0.2)        // correctly absent
 	if p := o.Precision(); math.Abs(p-0.5) > 1e-12 {
 		t.Errorf("Precision = %g, want 0.5", p)
 	}

@@ -1,0 +1,206 @@
+// JSON wire format for predicates, used by the summaryd HTTP service and
+// any other out-of-process client. The encoding is strict on input —
+// unknown constraint kinds, out-of-range attributes, duplicate attributes,
+// inverted ranges, and negative domain values are rejected with descriptive
+// errors — so a malformed request never turns into a silently-wrong query.
+//
+// A predicate marshals as
+//
+//	{"num_attrs": 4,
+//	 "where": [{"attr": 0, "kind": "eq", "value": 2},
+//	           {"attr": 1, "kind": "range", "lo": 1, "hi": 3},
+//	           {"attr": 3, "kind": "set", "values": [0, 5]}]}
+//
+// with constraints sorted by attribute. "eq" is sugar for a single-value
+// range; "any" is accepted on input and dropped. CanonicalKey renders the
+// same normal form as a compact string, the cache/dedup key of the server.
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// wireConstraint is the JSON shape of one per-attribute constraint.
+type wireConstraint struct {
+	Attr int    `json:"attr"`
+	Kind string `json:"kind"`
+	// Value is set for kind "eq".
+	Value *int `json:"value,omitempty"`
+	// Lo and Hi are set for kind "range" (inclusive bounds).
+	Lo *int `json:"lo,omitempty"`
+	Hi *int `json:"hi,omitempty"`
+	// Values is set for kind "set".
+	Values []int `json:"values,omitempty"`
+}
+
+// wirePredicate is the JSON shape of a predicate.
+type wirePredicate struct {
+	NumAttrs int              `json:"num_attrs"`
+	Where    []wireConstraint `json:"where,omitempty"`
+}
+
+// MarshalJSON renders the predicate in the wire format, constraints sorted
+// by attribute index.
+func (p *Predicate) MarshalJSON() ([]byte, error) {
+	w := wirePredicate{NumAttrs: p.numAttrs}
+	for _, a := range p.ConstrainedAttrs() {
+		c := p.constraints[a]
+		wc := wireConstraint{Attr: a}
+		switch c.Kind {
+		case InRange:
+			if c.Range.Lo == c.Range.Hi {
+				v := c.Range.Lo
+				wc.Kind = "eq"
+				wc.Value = &v
+			} else {
+				lo, hi := c.Range.Lo, c.Range.Hi
+				wc.Kind = "range"
+				wc.Lo, wc.Hi = &lo, &hi
+			}
+		case InSet:
+			wc.Kind = "set"
+			wc.Values = append([]int(nil), c.Values...)
+		default:
+			return nil, fmt.Errorf("query: cannot marshal constraint kind %d on attribute %d", c.Kind, a)
+		}
+		w.Where = append(w.Where, wc)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses and validates the wire format. The error messages
+// are meant to travel back to HTTP clients verbatim.
+func (p *Predicate) UnmarshalJSON(data []byte) error {
+	var w wirePredicate
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("query: malformed predicate JSON: %w", err)
+	}
+	if w.NumAttrs < 1 {
+		return fmt.Errorf("query: num_attrs must be >= 1, got %d", w.NumAttrs)
+	}
+	q := NewPredicate(w.NumAttrs)
+	seen := make(map[int]bool, len(w.Where))
+	for i, wc := range w.Where {
+		if wc.Attr < 0 || wc.Attr >= w.NumAttrs {
+			return fmt.Errorf("query: where[%d]: attribute %d out of range [0,%d)", i, wc.Attr, w.NumAttrs)
+		}
+		if seen[wc.Attr] {
+			return fmt.Errorf("query: where[%d]: duplicate constraint on attribute %d", i, wc.Attr)
+		}
+		seen[wc.Attr] = true
+		c, err := wc.constraint()
+		if err != nil {
+			return fmt.Errorf("query: where[%d]: %w", i, err)
+		}
+		q.Where(wc.Attr, c)
+	}
+	*p = *q
+	return nil
+}
+
+// constraint validates one wire constraint and converts it.
+func (wc wireConstraint) constraint() (Constraint, error) {
+	switch wc.Kind {
+	case "any", "":
+		return AnyValue(), nil
+	case "eq":
+		if wc.Value == nil {
+			return Constraint{}, fmt.Errorf(`kind "eq" requires "value"`)
+		}
+		if *wc.Value < 0 {
+			return Constraint{}, fmt.Errorf("eq value %d must be non-negative", *wc.Value)
+		}
+		return ValueEq(*wc.Value), nil
+	case "range":
+		if wc.Lo == nil || wc.Hi == nil {
+			return Constraint{}, fmt.Errorf(`kind "range" requires "lo" and "hi"`)
+		}
+		if *wc.Lo < 0 {
+			return Constraint{}, fmt.Errorf("range lo %d must be non-negative", *wc.Lo)
+		}
+		if *wc.Hi < *wc.Lo {
+			return Constraint{}, fmt.Errorf("empty range [%d,%d]", *wc.Lo, *wc.Hi)
+		}
+		return ValueIn(NewRange(*wc.Lo, *wc.Hi)), nil
+	case "set":
+		if len(wc.Values) == 0 {
+			return Constraint{}, fmt.Errorf(`kind "set" requires a non-empty "values"`)
+		}
+		for _, v := range wc.Values {
+			if v < 0 {
+				return Constraint{}, fmt.Errorf("set value %d must be non-negative", v)
+			}
+		}
+		return ValueSet(wc.Values), nil
+	default:
+		return Constraint{}, fmt.Errorf("unknown constraint kind %q (want any, eq, range, or set)", wc.Kind)
+	}
+}
+
+// CanonicalKey returns a compact, injective string form of the predicate:
+// two predicates produce the same key iff they have the same arity and
+// attribute-wise constraints (sets compared after sort+dedup). It is the
+// cache key of the summaryd result cache.
+//
+// The format is "#<num_attrs>" followed by "|<attr><tag><args>" per
+// constrained attribute in ascending attribute order, where the tag is
+// 'r' (range, "lo:hi") or 's' (set, comma-joined values).
+func (p *Predicate) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteByte('#')
+	b.WriteString(strconv.Itoa(p.numAttrs))
+	for _, a := range p.ConstrainedAttrs() {
+		c := p.constraints[a]
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(a))
+		switch c.Kind {
+		case InRange:
+			b.WriteByte('r')
+			b.WriteString(strconv.Itoa(c.Range.Lo))
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(c.Range.Hi))
+		case InSet:
+			b.WriteByte('s')
+			for i, v := range c.Values {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(v))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether the two predicates constrain the same attributes
+// identically (sets compared after their construction-time sort+dedup).
+func (p *Predicate) Equal(o *Predicate) bool {
+	if p.numAttrs != o.numAttrs || len(p.constraints) != len(o.constraints) {
+		return false
+	}
+	for a, c := range p.constraints {
+		oc, ok := o.constraints[a]
+		if !ok || c.Kind != oc.Kind {
+			return false
+		}
+		switch c.Kind {
+		case InRange:
+			if c.Range != oc.Range {
+				return false
+			}
+		case InSet:
+			if len(c.Values) != len(oc.Values) {
+				return false
+			}
+			for i := range c.Values {
+				if c.Values[i] != oc.Values[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

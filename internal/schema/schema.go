@@ -37,9 +37,9 @@ func (k Kind) String() string {
 type Attribute struct {
 	name   string
 	kind   Kind
-	labels []string  // categorical labels, index-aligned
-	lo, hi float64   // binned: overall value range [lo, hi)
-	bins   int       // binned: number of equi-width buckets
+	labels []string // categorical labels, index-aligned
+	lo, hi float64  // binned: overall value range [lo, hi)
+	bins   int      // binned: number of equi-width buckets
 	index  map[string]int
 }
 
@@ -180,7 +180,7 @@ func (a Attribute) BinCenter(v int) float64 {
 // Schema is an ordered list of attributes describing a single relation
 // R(A_1, ..., A_m).
 type Schema struct {
-	attrs []Attribute
+	attrs  []Attribute
 	byName map[string]int
 }
 

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU result cache with hit/miss accounting. Keys are
+// the canonical query strings of the server (estimator name + query kind +
+// predicate CanonicalKey), so two requests hit the same entry iff the
+// estimator would compute the identical answer. Values are stored as
+// returned — callers must not mutate cached group slices.
+type Cache struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+	evictions    uint64
+}
+
+type cacheEntry struct {
+	key string
+	val interface{}
+}
+
+// NewCache returns an LRU cache bounded to capacity entries. A capacity
+// <= 0 disables caching: Get always misses and Put is a no-op.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache) Get(key string) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or refreshes) the value under key, evicting the least
+// recently used entry when the cache is full.
+func (c *Cache) Put(key string, val interface{}) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is the accounting snapshot exposed on /metrics.
+type CacheStats struct {
+	Capacity  int     `json:"capacity"`
+	Entries   int     `json:"entries"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Capacity:  c.capacity,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

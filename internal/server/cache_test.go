@@ -1,0 +1,67 @@
+package server
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v; want 3, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v; want 1 eviction, 2 entries, capacity 2", st)
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	c := NewCache(8)
+	c.Put("k", 1.5)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("expected hit")
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("expected miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.HitRatio != 0.5 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, ratio 0.5", st)
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh value and recency
+	c.Put("c", 3)  // evicts b, not a
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("a = %v, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want 0 entries, 1 miss", st)
+	}
+}

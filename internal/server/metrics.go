@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the quantile estimates
+// are computed over. A power of two keeps the ring index arithmetic cheap.
+const latencyWindow = 8192
+
+// Metrics accumulates server-side request accounting: totals, errors, and
+// a sliding window of latencies for p50/p95 estimation. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests uint64
+	errors   uint64
+	ring     [latencyWindow]int64 // nanoseconds, circular
+	next     int
+	filled   int
+}
+
+// NewMetrics returns a metrics accumulator anchored at now.
+func NewMetrics(now time.Time) *Metrics {
+	return &Metrics{start: now}
+}
+
+// Record accounts one served request with the given handling latency.
+func (m *Metrics) Record(d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if failed {
+		m.errors++
+	}
+	m.ring[m.next] = d.Nanoseconds()
+	m.next = (m.next + 1) % latencyWindow
+	if m.filled < latencyWindow {
+		m.filled++
+	}
+}
+
+// MetricsSnapshot is the request-side portion of the /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	RequestsTotal uint64  `json:"requests_total"`
+	ErrorsTotal   uint64  `json:"errors_total"`
+	QPS           float64 `json:"qps"`
+	// Latency quantiles are computed over the most recent latencyWindow
+	// requests; zero when nothing has been served yet.
+	LatencyP50NS  int64 `json:"latency_p50_ns"`
+	LatencyP95NS  int64 `json:"latency_p95_ns"`
+	LatencyMaxNS  int64 `json:"latency_max_ns"`
+	WindowSamples int   `json:"window_samples"`
+}
+
+// Snapshot computes the exported view at time now.
+func (m *Metrics) Snapshot(now time.Time) MetricsSnapshot {
+	m.mu.Lock()
+	s := MetricsSnapshot{
+		RequestsTotal: m.requests,
+		ErrorsTotal:   m.errors,
+		WindowSamples: m.filled,
+	}
+	lat := make([]int64, m.filled)
+	copy(lat, m.ring[:m.filled])
+	start := m.start
+	m.mu.Unlock()
+
+	if up := now.Sub(start).Seconds(); up > 0 {
+		s.UptimeSeconds = up
+		s.QPS = float64(s.RequestsTotal) / up
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.LatencyP50NS = quantile(lat, 0.50)
+		s.LatencyP95NS = quantile(lat, 0.95)
+		s.LatencyMaxNS = lat[len(lat)-1]
+	}
+	return s
+}
+
+// quantile returns the nearest-rank q-quantile of the sorted samples.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

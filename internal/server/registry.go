@@ -1,0 +1,86 @@
+// Package server turns the repository's estimator stack into a long-lived
+// HTTP/JSON query service: a concurrent-safe registry of named estimators,
+// a bounded LRU result cache keyed by canonical query strings, rolling
+// latency/QPS metrics, and the summaryd endpoint handlers (/query,
+// /groupby, /estimators, /healthz, /metrics). The paper's premise is that
+// a solved MaxEnt summary answers counting queries in interactive time
+// without touching the data; this package is the serving shape that makes
+// the claim measurable end to end.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+)
+
+// Entry is one registered estimator together with the schema it answers
+// over; the schema validates incoming predicates and advertises domain
+// sizes to remote load generators.
+type Entry struct {
+	Name      string
+	Estimator core.Estimator
+	Schema    *schema.Schema
+}
+
+// Registry is a concurrent-safe map of named estimators. Registration and
+// lookup may interleave freely with request handling; the estimators
+// themselves are read-only after registration (the core.Estimator
+// contract).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]Entry)}
+}
+
+// Register adds an estimator under the given name (conventionally
+// "dataset/strategy"). Names must be unique and non-empty.
+func (r *Registry) Register(name string, est core.Estimator, sch *schema.Schema) error {
+	if name == "" {
+		return fmt.Errorf("server: estimator name must not be empty")
+	}
+	if est == nil || sch == nil {
+		return fmt.Errorf("server: estimator %q needs a non-nil estimator and schema", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("server: estimator %q already registered", name)
+	}
+	r.entries[name] = Entry{Name: name, Estimator: est, Schema: sch}
+	return nil
+}
+
+// Get looks an estimator up by name.
+func (r *Registry) Get(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Entries returns all registered entries sorted by name.
+func (r *Registry) Entries() []Entry {
+	r.mu.RLock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered estimators.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,399 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Options configure the HTTP service. The zero value requests the defaults
+// noted on each field.
+type Options struct {
+	// Timeout bounds the handling of a single request, queueing included
+	// (default 5s).
+	Timeout time.Duration
+	// MaxConcurrent bounds how many estimator evaluations may run at once;
+	// excess requests queue until a slot frees or their timeout fires
+	// (default 64).
+	MaxConcurrent int
+	// CacheSize bounds the LRU result cache in entries; <= -1 disables
+	// caching, 0 selects the default 4096.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Now overrides the wall clock, for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o *Options) setDefaults() {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Server is the summaryd request handler: it answers counting and group-by
+// queries over the registered estimators with caching, admission control,
+// and metrics. Create it with New and mount Handler on an http.Server.
+type Server struct {
+	reg     *Registry
+	cache   *Cache
+	metrics *Metrics
+	sem     chan struct{}
+	opts    Options
+	mux     *http.ServeMux
+}
+
+// New builds a server over the registry. Estimators may keep being
+// registered after New; requests see them immediately.
+func New(reg *Registry, opts Options) *Server {
+	opts.setDefaults()
+	s := &Server{
+		reg:     reg,
+		cache:   NewCache(opts.CacheSize),
+		metrics: NewMetrics(opts.Now()),
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		opts:    opts,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/groupby", s.handleGroupBy)
+	s.mux.HandleFunc("/estimators", s.handleEstimators)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving all summaryd endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (for tests and metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// --- wire types -------------------------------------------------------
+
+// QueryRequest is the body of POST /query. A null/omitted predicate asks
+// for the full relation cardinality.
+type QueryRequest struct {
+	Estimator string           `json:"estimator"`
+	Predicate *query.Predicate `json:"predicate,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Estimator string  `json:"estimator"`
+	Count     float64 `json:"count"`
+	Cached    bool    `json:"cached"`
+	LatencyNS int64   `json:"latency_ns"`
+}
+
+// GroupByRequest is the body of POST /groupby.
+type GroupByRequest struct {
+	Estimator string           `json:"estimator"`
+	Predicate *query.Predicate `json:"predicate,omitempty"`
+	GroupBy   []int            `json:"group_by"`
+}
+
+// GroupRow is one group of a group-by answer.
+type GroupRow struct {
+	Values   []int   `json:"values"`
+	Estimate float64 `json:"estimate"`
+}
+
+// GroupByResponse is the body of a successful POST /groupby.
+type GroupByResponse struct {
+	Estimator string     `json:"estimator"`
+	Groups    []GroupRow `json:"groups"`
+	Cached    bool       `json:"cached"`
+	LatencyNS int64      `json:"latency_ns"`
+}
+
+// EstimatorInfo describes one registered estimator on GET /estimators.
+// Domain sizes let remote clients (cmd/loadgen) generate schema-compatible
+// workloads without sharing code with the server.
+type EstimatorInfo struct {
+	Name        string   `json:"name"`
+	ApproxBytes int64    `json:"approx_bytes"`
+	NumAttrs    int      `json:"num_attrs"`
+	AttrNames   []string `json:"attr_names"`
+	DomainSizes []int    `json:"domain_sizes"`
+}
+
+// EstimatorsResponse is the body of GET /estimators.
+type EstimatorsResponse struct {
+	Estimators []EstimatorInfo `json:"estimators"`
+}
+
+// MetricsResponse is the body of GET /metrics.
+type MetricsResponse struct {
+	MetricsSnapshot
+	Cache      CacheStats      `json:"cache"`
+	Estimators []EstimatorInfo `json:"estimators"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+// httpError is an error carrying the HTTP status it should be reported
+// with.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	var req QueryRequest
+	err := s.withRequest(w, r, &req, func(ctx context.Context) (interface{}, error) {
+		ent, key, herr := s.admitQuery(req.Estimator, "c", req.Predicate, nil)
+		if herr != nil {
+			return nil, herr
+		}
+		if v, ok := s.cache.Get(key); ok {
+			return QueryResponse{Estimator: ent.Name, Count: v.(float64), Cached: true}, nil
+		}
+		v, herr2 := s.execute(ctx, func() (interface{}, error) {
+			return ent.Estimator.EstimateCount(req.Predicate)
+		})
+		if herr2 != nil {
+			return nil, herr2
+		}
+		count := v.(float64)
+		s.cache.Put(key, count)
+		return QueryResponse{Estimator: ent.Name, Count: count}, nil
+	}, func(resp interface{}, latency time.Duration) interface{} {
+		qr := resp.(QueryResponse)
+		qr.LatencyNS = latency.Nanoseconds()
+		return qr
+	})
+	s.metrics.Record(s.opts.Now().Sub(start), err != nil)
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	var req GroupByRequest
+	err := s.withRequest(w, r, &req, func(ctx context.Context) (interface{}, error) {
+		ent, key, herr := s.admitQuery(req.Estimator, "g", req.Predicate, req.GroupBy)
+		if herr != nil {
+			return nil, herr
+		}
+		if v, ok := s.cache.Get(key); ok {
+			return GroupByResponse{Estimator: ent.Name, Groups: v.([]GroupRow), Cached: true}, nil
+		}
+		v, herr2 := s.execute(ctx, func() (interface{}, error) {
+			return ent.Estimator.EstimateGroupBy(req.GroupBy, req.Predicate)
+		})
+		if herr2 != nil {
+			return nil, herr2
+		}
+		rows := toGroupRows(v.([]core.GroupEstimate))
+		s.cache.Put(key, rows)
+		return GroupByResponse{Estimator: ent.Name, Groups: rows}, nil
+	}, func(resp interface{}, latency time.Duration) interface{} {
+		gr := resp.(GroupByResponse)
+		gr.LatencyNS = latency.Nanoseconds()
+		return gr
+	})
+	s.metrics.Record(s.opts.Now().Sub(start), err != nil)
+}
+
+func (s *Server) handleEstimators(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimatorsResponse{Estimators: s.estimatorInfos()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	snap := s.metrics.Snapshot(s.opts.Now())
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": snap.UptimeSeconds,
+		"estimators":     s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		MetricsSnapshot: s.metrics.Snapshot(s.opts.Now()),
+		Cache:           s.cache.Stats(),
+		Estimators:      s.estimatorInfos(),
+	})
+}
+
+func (s *Server) estimatorInfos() []EstimatorInfo {
+	entries := s.reg.Entries()
+	out := make([]EstimatorInfo, 0, len(entries))
+	for _, e := range entries {
+		info := EstimatorInfo{
+			Name:        e.Name,
+			ApproxBytes: e.Estimator.ApproxBytes(),
+			NumAttrs:    e.Schema.NumAttrs(),
+			DomainSizes: e.Schema.DomainSizes(),
+		}
+		for i := 0; i < e.Schema.NumAttrs(); i++ {
+			info.AttrNames = append(info.AttrNames, e.Schema.Attr(i).Name())
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// --- request plumbing -------------------------------------------------
+
+// withRequest decodes a POST body into req, runs fn under the per-request
+// timeout, stamps the latency via finish, and writes either the response
+// or a JSON error. It returns the error fn produced (nil on success) so
+// handlers can account failures.
+func (s *Server) withRequest(w http.ResponseWriter, r *http.Request, req interface{},
+	fn func(ctx context.Context) (interface{}, error),
+	finish func(resp interface{}, latency time.Duration) interface{}) error {
+	if r.Method != http.MethodPost {
+		err := &httpError{status: http.StatusMethodNotAllowed, msg: "use POST"}
+		writeJSON(w, err.status, errorResponse{Error: err.msg})
+		return err
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(req); err != nil {
+		herr := badRequest("malformed request body: %v", err)
+		writeJSON(w, herr.status, errorResponse{Error: herr.msg})
+		return herr
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	start := s.opts.Now()
+	resp, err := fn(ctx)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var herr *httpError
+		if errors.As(err, &herr) {
+			status = herr.status
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return err
+	}
+	writeJSON(w, http.StatusOK, finish(resp, s.opts.Now().Sub(start)))
+	return nil
+}
+
+// admitQuery validates the request against the registry and returns the
+// target entry plus the canonical cache key. kind is "c" for counts, "g"
+// for group-bys.
+func (s *Server) admitQuery(estimator, kind string, pred *query.Predicate, groupBy []int) (Entry, string, error) {
+	if estimator == "" {
+		return Entry{}, "", badRequest(`missing "estimator"`)
+	}
+	ent, ok := s.reg.Get(estimator)
+	if !ok {
+		return Entry{}, "", &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown estimator %q", estimator)}
+	}
+	numAttrs := ent.Schema.NumAttrs()
+	if pred != nil && pred.NumAttrs() != numAttrs {
+		return Entry{}, "", badRequest("predicate has num_attrs=%d, estimator %q answers over %d attributes",
+			pred.NumAttrs(), estimator, numAttrs)
+	}
+	key := ent.Name + "\x00" + kind
+	if kind == "g" {
+		if len(groupBy) == 0 || len(groupBy) > 4 {
+			return Entry{}, "", badRequest("group_by needs 1..4 attributes, got %d", len(groupBy))
+		}
+		seen := make(map[int]bool, len(groupBy))
+		for _, a := range groupBy {
+			if a < 0 || a >= numAttrs {
+				return Entry{}, "", badRequest("group_by attribute %d out of range [0,%d)", a, numAttrs)
+			}
+			if seen[a] {
+				return Entry{}, "", badRequest("duplicate group_by attribute %d", a)
+			}
+			seen[a] = true
+			key += fmt.Sprintf(",%d", a)
+		}
+	}
+	key += "\x00"
+	if pred != nil {
+		key += pred.CanonicalKey()
+	}
+	return ent, key, nil
+}
+
+// execute runs fn on the bounded worker pool under ctx: it queues for a
+// slot, then runs fn in a goroutine so a timeout can abandon (not cancel)
+// a straggling evaluation without unbounding the pool — the slot is only
+// released once fn actually returns.
+func (s *Server) execute(ctx context.Context, fn func() (interface{}, error)) (interface{}, *httpError) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "server saturated: timed out waiting for a worker slot"}
+	}
+	type result struct {
+		v   interface{}
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		v, err := fn()
+		done <- result{v, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			return nil, &httpError{status: http.StatusUnprocessableEntity, msg: res.err.Error()}
+		}
+		return res.v, nil
+	case <-ctx.Done():
+		return nil, &httpError{status: http.StatusGatewayTimeout, msg: "query timed out"}
+	}
+}
+
+func toGroupRows(groups []core.GroupEstimate) []GroupRow {
+	rows := make([]GroupRow, len(groups))
+	for i, g := range groups {
+		rows[i] = GroupRow{Values: g.Values, Estimate: g.Estimate}
+	}
+	return rows
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
