@@ -21,6 +21,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/solver"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/summary"
 )
 
@@ -37,6 +38,8 @@ func main() {
 		relax      = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
 		solverWork = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
 		partitions = flag.Int("partitions", 0, "when > 0, also build a K-way partitioned summary (built concurrently)")
+		storeDir   = flag.String("store", "", "when set, snapshot the built summaries into this store directory (created if missing)")
+		dataset    = flag.String("dataset", "demo", "dataset name snapshots are stored under (with -store)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
 		os.Exit(2)
+	}
+	// Validate the store path before the pipeline runs: create-if-missing
+	// plus a writability probe, so a bad -store fails fast instead of
+	// discarding a finished run.
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	rel := experiment.SyntheticRelation(*rows, rng)
@@ -65,6 +79,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "%s\n", sum.SolverReport())
+	if st != nil {
+		info, err := st.Save(*dataset+"/maxent", sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot %s v%d (%d bytes)\n", info.Dataset, info.Version, info.Bytes)
+	}
 
 	uni, err := sampling.Uniform(rel, *rate, rand.New(rand.NewSource(*seed+1)))
 	if err != nil {
@@ -94,6 +115,13 @@ func main() {
 		}
 		for k, rep := range psum.SolverReports() {
 			fmt.Fprintf(os.Stderr, "partition %d/%d: %s\n", k+1, psum.NumPartitions(), rep)
+		}
+		if st != nil {
+			info, err := st.Save(*dataset+"/partitioned", psum)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "snapshot %s v%d (%d bytes)\n", info.Dataset, info.Version, info.Bytes)
 		}
 		estimators = append(estimators, psum)
 	}

@@ -1,0 +1,180 @@
+// Command summarize builds a MaxEnt summary offline and persists it as a
+// versioned snapshot, decoupling the expensive stats→polynomial→solver
+// pipeline from serving: run summarize once (in a batch job, on a beefy
+// machine), then cold-start any number of summaryd replicas from the
+// snapshot store in time proportional to the summary size — the relation
+// is never needed again.
+//
+//	go run ./cmd/summarize -store ./snapshots -dataset demo -rows 20000
+//	go run ./cmd/summaryd  -store ./snapshots -dataset demo   # restores, no rebuild
+//
+// The input is either the repository's standard synthetic generator
+// (-rows/-seed) or a CSV file (-csv) loaded through the relation
+// package's schema inference (numeric columns are equi-width binned via
+// -bins, everything else is categorical). With -partitions > 0 a K-way
+// partitioned summary is snapshotted alongside the single one. Snapshot
+// metadata is printed as JSON on stdout; progress goes to stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/relation"
+	"repro/internal/solver"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+func main() {
+	var (
+		storeDir   = flag.String("store", "", "snapshot store directory (required; created if missing)")
+		dataset    = flag.String("dataset", "demo", "dataset name snapshots are stored under")
+		csvPath    = flag.String("csv", "", "CSV file to summarize (default: the synthetic generator)")
+		bins       = flag.Int("bins", 16, "equi-width buckets for numeric CSV columns")
+		rows       = flag.Int("rows", 20000, "synthetic relation cardinality (ignored with -csv)")
+		seed       = flag.Int64("seed", 1, "synthetic data seed (ignored with -csv)")
+		pairBudget = flag.Int("pairs", 2, "attribute pairs receiving 2D statistics (B_a)")
+		perPair    = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
+		heuristic  = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
+		sweeps     = flag.Int("sweeps", 200, "solver sweep budget")
+		relax      = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
+		solverWork = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
+		partitions = flag.Int("partitions", 0, "when > 0, also snapshot a K-way partitioned summary")
+		keep       = flag.Int("keep", 0, "after saving, prune each dataset to its newest N versions (0 keeps all)")
+	)
+	flag.Parse()
+
+	if err := validate(*storeDir, *rows, *bins, *partitions, *sweeps, *keep); err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(2)
+	}
+	h, err := stats.ParseHeuristic(*heuristic)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(2)
+	}
+	// Fail fast on an unusable store before any solver work happens.
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(2)
+	}
+
+	rel, err := loadRelation(*csvPath, *bins, *rows, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "relation: %s, %d rows\n", rel.Schema(), rel.NumRows())
+
+	opts := summary.Options{
+		PairBudget:    *pairBudget,
+		PerPairBudget: *perPair,
+		Heuristic:     h,
+		Solver:        solver.Options{MaxSweeps: *sweeps, Relaxation: *relax, Workers: *solverWork},
+	}
+
+	var infos []store.SnapshotInfo
+	buildStart := time.Now()
+	sum, err := summary.Build(rel, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "built %s in %v (%s)\n",
+		sum.Name(), time.Since(buildStart).Round(time.Millisecond), sum.SolverReport())
+	info, err := st.Save(*dataset+"/maxent", sum)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(1)
+	}
+	infos = append(infos, info)
+
+	if *partitions > 0 {
+		// Partition-level concurrency already saturates the cores; keep
+		// the per-partition solver sequential.
+		base := opts
+		base.Solver.Workers = 1
+		partStart := time.Now()
+		psum, err := summary.BuildPartitioned(rel, summary.PartitionedOptions{
+			Partitions: *partitions,
+			Base:       base,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "built %s in %v\n", psum.Name(), time.Since(partStart).Round(time.Millisecond))
+		pinfo, err := st.Save(*dataset+"/partitioned", psum)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+			os.Exit(1)
+		}
+		infos = append(infos, pinfo)
+	}
+
+	if *keep > 0 {
+		for _, in := range infos {
+			removed, err := st.Prune(in.Dataset, *keep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+				os.Exit(1)
+			}
+			if len(removed) > 0 {
+				fmt.Fprintf(os.Stderr, "pruned %d old version(s) of %s\n", len(removed), in.Dataset)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(infos); err != nil {
+		fmt.Fprintf(os.Stderr, "summarize: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadRelation reads the CSV when given, falling back to the shared
+// synthetic generator.
+func loadRelation(csvPath string, bins, rows int, seed int64) (*relation.Relation, error) {
+	if csvPath == "" {
+		return experiment.SyntheticRelation(rows, rand.New(rand.NewSource(seed))), nil
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.LoadCSV(f, relation.CSVOptions{Bins: bins})
+}
+
+// validate rejects nonsensical flag values up front, consistent with the
+// other commands.
+func validate(storeDir string, rows, bins, partitions, sweeps, keep int) error {
+	if storeDir == "" {
+		return fmt.Errorf("-store is required (the directory snapshots are written to)")
+	}
+	if rows <= 0 {
+		return fmt.Errorf("-rows must be positive, got %d", rows)
+	}
+	if bins <= 0 {
+		return fmt.Errorf("-bins must be positive, got %d", bins)
+	}
+	if partitions < 0 {
+		return fmt.Errorf("-partitions must be non-negative, got %d", partitions)
+	}
+	if sweeps <= 0 {
+		return fmt.Errorf("-sweeps must be positive, got %d", sweeps)
+	}
+	if keep < 0 {
+		return fmt.Errorf("-keep must be non-negative (0 keeps all), got %d", keep)
+	}
+	return nil
+}

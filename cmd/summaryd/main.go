@@ -4,10 +4,19 @@
 // registry, and serves counting and group-by queries over HTTP/JSON with
 // an LRU result cache, admission control, and latency/QPS metrics.
 //
+// With -store, summaryd is restartable: at startup it restores every
+// snapshot in the store (cold start in O(summary bytes), no data scan, no
+// solver), and only rebuilds the -dataset pipeline when the store holds
+// no summary for it yet — saving the result as a new snapshot version, so
+// the next start restores instead. POST /snapshots/{dataset} saves new
+// versions of the live estimators and GET /snapshots lists what is
+// stored.
+//
 // Endpoints: POST /query, POST /groupby, GET /estimators, GET /healthz,
-// GET /metrics. See the README's "Serving summaries" section for a curl
-// walkthrough. The process shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight requests.
+// GET /metrics, GET /snapshots, POST /snapshots/{dataset}. See
+// docs/API.md for the full wire reference and the README's "Serving
+// summaries" section for a curl walkthrough. The process shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -27,6 +37,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/solver"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/summary"
 )
 
@@ -49,6 +60,7 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 64, "maximum concurrent estimator evaluations")
 		cacheSize  = flag.Int("cache", 4096, "result-cache capacity in entries (-1 disables)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		storeDir   = flag.String("store", "", "snapshot store directory: restore summaries at startup, save on build (created if missing)")
 	)
 	flag.Parse()
 
@@ -61,33 +73,87 @@ func main() {
 		fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
 		os.Exit(2)
 	}
-
-	rel := experiment.SyntheticRelation(*rows, rand.New(rand.NewSource(*seed)))
-	log.Printf("dataset %q: %s, %d rows", *dataset, rel.Schema(), rel.NumRows())
+	// Validate the store path up front (create-if-missing, writability
+	// probe), before any build work: a misconfigured -store must fail in
+	// seconds, not after a minute of solving.
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	reg := server.NewRegistry()
-	buildStart := time.Now()
-	names, err := server.BuildDataset(reg, *dataset, rel, server.DatasetOptions{
-		Summary: summary.Options{
-			PairBudget:    *pairBudget,
-			PerPairBudget: *perPair,
-			Heuristic:     h,
-			Solver:        solver.Options{MaxSweeps: *sweeps, Relaxation: *relax, Workers: *solverWork},
-		},
-		Partitions: *partitions,
-		SampleRate: *rate,
-		SampleSeed: *seed,
-		SkipExact:  *noExact,
-	})
-	if err != nil {
-		log.Fatal(err)
+	fromSnapshot := false
+	if st != nil {
+		restoreStart := time.Now()
+		restored, problems, err := server.RestoreStore(reg, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One damaged dataset must not keep a restartable daemon down;
+		// restore what loads, warn about what does not.
+		for _, p := range problems {
+			log.Printf("warning: snapshot restore skipped %q: %v", p.Dataset, p.Err)
+		}
+		if len(restored) > 0 {
+			log.Printf("restored %d estimator(s) from %s in %v: %v",
+				len(restored), st.Dir(), time.Since(restoreStart).Round(time.Millisecond), restored)
+		}
+		// Serve -dataset from snapshots only when the store satisfied
+		// every snapshot-able estimator these flags ask for; otherwise
+		// drop the partial restore and rebuild the full strategy set (a
+		// rebuild re-registers, so leftovers would collide).
+		_, haveMaxent := reg.Get(*dataset + "/maxent")
+		_, havePartitioned := reg.Get(*dataset + "/partitioned")
+		fromSnapshot = haveMaxent && (*partitions == 0 || havePartitioned)
+		if !fromSnapshot {
+			for _, name := range restored {
+				if strings.HasPrefix(name, *dataset+"/") {
+					reg.Unregister(name)
+				}
+			}
+		}
 	}
-	log.Printf("built %d estimators in %v: %v", len(names), time.Since(buildStart).Round(time.Millisecond), names)
+
+	// Build the configured dataset only when the store did not already
+	// provide its summaries — the restartable-service path: the relation
+	// is regenerated and the solver re-run exclusively on the first start.
+	if fromSnapshot {
+		log.Printf("dataset %q: serving from snapshot, skipping build", *dataset)
+		if *rate > 0 || !*noExact {
+			log.Printf("dataset %q: note: the exact engine and sampling baselines are data-bound and cannot be restored from snapshots; pass -rate 0 -no-exact to silence", *dataset)
+		}
+	} else {
+		rel := experiment.SyntheticRelation(*rows, rand.New(rand.NewSource(*seed)))
+		log.Printf("dataset %q: %s, %d rows", *dataset, rel.Schema(), rel.NumRows())
+		buildStart := time.Now()
+		names, err := server.BuildDataset(reg, *dataset, rel, server.DatasetOptions{
+			Summary: summary.Options{
+				PairBudget:    *pairBudget,
+				PerPairBudget: *perPair,
+				Heuristic:     h,
+				Solver:        solver.Options{MaxSweeps: *sweeps, Relaxation: *relax, Workers: *solverWork},
+			},
+			Partitions: *partitions,
+			SampleRate: *rate,
+			SampleSeed: *seed,
+			SkipExact:  *noExact,
+			Store:      st,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built %d estimators in %v: %v", len(names), time.Since(buildStart).Round(time.Millisecond), names)
+	}
 
 	srv := server.New(reg, server.Options{
 		Timeout:       *timeout,
 		MaxConcurrent: *maxConc,
 		CacheSize:     *cacheSize,
+		Store:         st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

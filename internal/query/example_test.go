@@ -1,0 +1,32 @@
+package query_test
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// ExamplePredicate builds the conjunction
+// region = 2 ∧ amount ∈ [2,5] over a 4-attribute schema and shows the two
+// wire forms clients meet: the JSON body POSTed to summaryd and the
+// canonical cache key the server dedups on.
+func ExamplePredicate() {
+	pred := query.NewPredicate(4).
+		WhereEq(0, 2).
+		WhereRange(3, 2, 5)
+
+	body, _ := json.Marshal(pred)
+	fmt.Println(string(body))
+	fmt.Println(pred.CanonicalKey())
+
+	var parsed query.Predicate
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		panic(err)
+	}
+	fmt.Println(parsed.Equal(pred))
+	// Output:
+	// {"num_attrs":4,"where":[{"attr":0,"kind":"eq","value":2},{"attr":3,"kind":"range","lo":2,"hi":5}]}
+	// #4|0r2:2|3r2:5
+	// true
+}

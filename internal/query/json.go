@@ -14,6 +14,7 @@
 // with constraints sorted by attribute. "eq" is sugar for a single-value
 // range; "any" is accepted on input and dropped. CanonicalKey renders the
 // same normal form as a compact string, the cache/dedup key of the server.
+
 package query
 
 import (

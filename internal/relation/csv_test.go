@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVInfersSchema(t *testing.T) {
+	rel, err := LoadCSV(strings.NewReader(
+		"region,amount,flag\n"+
+			"EU,10.5,yes\n"+
+			"NA,99.9,no\n"+
+			"EU,0.0,yes\n"), CSVOptions{Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 3 || rel.NumAttrs() != 3 {
+		t.Fatalf("got %d rows × %d attrs, want 3×3", rel.NumRows(), rel.NumAttrs())
+	}
+	sch := rel.Schema()
+	if got := sch.Attr(0).Name(); got != "region" {
+		t.Errorf("attr 0 name %q", got)
+	}
+	if sch.Attr(0).Size() != 2 { // EU, NA sorted
+		t.Errorf("region domain size %d, want 2", sch.Attr(0).Size())
+	}
+	if sch.Attr(1).Kind().String() != "binned" || sch.Attr(1).Size() != 4 {
+		t.Errorf("amount: kind %v size %d, want binned/4", sch.Attr(1).Kind(), sch.Attr(1).Size())
+	}
+	lo, hi := sch.Attr(1).Bounds()
+	if lo != 0 || hi != 99.9 {
+		t.Errorf("amount bounds [%g,%g), want [0,99.9)", lo, hi)
+	}
+	// EU encodes to 0 (sorted labels), NA to 1.
+	if rel.Value(0, 0) != 0 || rel.Value(1, 0) != 1 {
+		t.Errorf("region encoding: rows %d,%d", rel.Value(0, 0), rel.Value(1, 0))
+	}
+	// The maximum amount lands in the last bucket, clamped off the
+	// half-open boundary.
+	if rel.Value(1, 1) != 3 {
+		t.Errorf("max amount in bucket %d, want 3", rel.Value(1, 1))
+	}
+}
+
+func TestLoadCSVNoHeaderAndConstantColumn(t *testing.T) {
+	rel, err := LoadCSV(strings.NewReader("a,5\nb,5\n"), CSVOptions{NoHeader: true, Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := rel.Schema()
+	if sch.Attr(0).Name() != "col0" || sch.Attr(1).Name() != "col1" {
+		t.Errorf("names %q, %q", sch.Attr(0).Name(), sch.Attr(1).Name())
+	}
+	// A constant numeric column still yields a valid binned attribute.
+	if rel.Value(0, 1) != rel.Value(1, 1) {
+		t.Error("constant column encoded inconsistently")
+	}
+}
+
+func TestLoadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		opts CSVOptions
+	}{
+		"empty":            {"", CSVOptions{}},
+		"header only":      {"a,b\n", CSVOptions{}},
+		"ragged rows":      {"a,b\nx,1\ny\n", CSVOptions{}},
+		"category blow-up": {"c\nx\ny\nz\n", CSVOptions{MaxCategories: 2}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadCSV(strings.NewReader(tc.in), tc.opts); err == nil {
+				t.Errorf("LoadCSV accepted %s", name)
+			}
+		})
+	}
+}

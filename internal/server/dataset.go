@@ -3,11 +3,26 @@ package server
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/relation"
 	"repro/internal/sampling"
+	"repro/internal/store"
 	"repro/internal/summary"
 )
+
+// snapshotOnBuild persists a freshly-built summary when a store is
+// configured. A failed save fails the build loudly: a deployment that
+// asked for persistence should not limp along serving an unsaved model.
+func snapshotOnBuild(st *store.Store, name string, est core.Estimator) error {
+	if st == nil {
+		return nil
+	}
+	if _, err := st.Save(name, est); err != nil {
+		return fmt.Errorf("server: snapshot %q on build: %w", name, err)
+	}
+	return nil
+}
 
 // DatasetOptions configure BuildDataset. The zero value builds only the
 // exact engine and the MaxEnt summary with summary.Options defaults.
@@ -26,6 +41,10 @@ type DatasetOptions struct {
 	// SkipExact leaves the full-scan engine out (for deployments that must
 	// not retain the relation).
 	SkipExact bool
+	// Store, when non-nil, persists every solved summary the build
+	// produces as a new snapshot version under "<dataset>/<strategy>", so
+	// the next cold start can restore instead of rebuild.
+	Store *store.Store
 }
 
 // BuildDataset runs the summarization pipeline over one relation and
@@ -45,6 +64,9 @@ func BuildDataset(reg *Registry, dataset string, rel *relation.Relation, opts Da
 	}
 	name := dataset + "/maxent"
 	if err := reg.Register(name, sum, sch); err != nil {
+		return nil, err
+	}
+	if err := snapshotOnBuild(opts.Store, name, sum); err != nil {
 		return nil, err
 	}
 	names = append(names, name)
@@ -71,6 +93,9 @@ func BuildDataset(reg *Registry, dataset string, rel *relation.Relation, opts Da
 		}
 		name = dataset + "/partitioned"
 		if err := reg.Register(name, psum, sch); err != nil {
+			return nil, err
+		}
+		if err := snapshotOnBuild(opts.Store, name, psum); err != nil {
 			return nil, err
 		}
 		names = append(names, name)

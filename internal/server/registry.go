@@ -58,6 +58,20 @@ func (r *Registry) Register(name string, est core.Estimator, sch *schema.Schema)
 	return nil
 }
 
+// Unregister removes a named estimator and reports whether it was
+// present. Serving code never unregisters; it exists for startup
+// reconciliation (dropping a partial snapshot restore before a rebuild
+// re-registers the full strategy set).
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	delete(r.entries, name)
+	return true
+}
+
 // Get looks an estimator up by name.
 func (r *Registry) Get(name string) (Entry, bool) {
 	r.mu.RLock()

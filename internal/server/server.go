@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Options configure the HTTP service. The zero value requests the defaults
@@ -27,6 +28,9 @@ type Options struct {
 	CacheSize int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Store, when non-nil, backs the snapshot admin endpoints
+	// (GET /snapshots, POST /snapshots/{dataset}); nil serves 501 on them.
+	Store *store.Store
 	// Now overrides the wall clock, for tests (default time.Now).
 	Now func() time.Time
 }
@@ -78,6 +82,8 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("/estimators", s.handleEstimators)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/snapshots", s.handleSnapshotList)
+	s.mux.HandleFunc("/snapshots/", s.handleSnapshotSave)
 	return s
 }
 

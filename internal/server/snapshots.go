@@ -1,0 +1,183 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// schemed is implemented by estimators that know the schema they answer
+// over; the solved summaries restored from snapshots do, which is what
+// lets RestoreStore register them without access to the original
+// relation.
+type schemed interface {
+	Schema() *schema.Schema
+}
+
+// RestoreProblem describes one dataset key that could not be restored
+// (corrupt snapshot, name collision, …) while the rest of the store was.
+type RestoreProblem struct {
+	Dataset string
+	Err     error
+}
+
+// RestoreStore loads the latest snapshot of every dataset key in the
+// store — skipping keys matching one of the exceptPrefixes — and
+// registers each restored estimator in the registry under its key
+// ("<dataset>/<strategy>", exactly the names BuildDataset would have
+// used). Restoring is O(total summary bytes): no relation is scanned and
+// no solver runs, which is the whole point of snapshotting.
+//
+// One damaged or unregisterable dataset must not take down a restartable
+// service that could serve every other dataset, so per-dataset failures
+// are returned as problems for the caller to log, not as the error; the
+// error is reserved for the store listing itself failing.
+func RestoreStore(reg *Registry, st *store.Store, exceptPrefixes ...string) (names []string, problems []RestoreProblem, err error) {
+	manifests, err := st.List()
+	if err != nil {
+		return nil, nil, err
+	}
+datasets:
+	for _, man := range manifests {
+		for _, p := range exceptPrefixes {
+			if strings.HasPrefix(man.Dataset, p) {
+				continue datasets
+			}
+		}
+		est, info, err := st.Load(man.Dataset, 0)
+		if err != nil {
+			problems = append(problems, RestoreProblem{man.Dataset, err})
+			continue
+		}
+		sc, ok := est.(schemed)
+		if !ok {
+			problems = append(problems, RestoreProblem{man.Dataset,
+				fmt.Errorf("server: restore %q: estimator %T carries no schema", man.Dataset, est)})
+			continue
+		}
+		if err := reg.Register(man.Dataset, est, sc.Schema()); err != nil {
+			problems = append(problems, RestoreProblem{man.Dataset,
+				fmt.Errorf("server: restore %q (v%d): %w", man.Dataset, info.Version, err)})
+			continue
+		}
+		names = append(names, man.Dataset)
+	}
+	return names, problems, nil
+}
+
+// ErrNoEstimators is reported by SaveDataset when no estimator at all is
+// registered under the requested dataset prefix.
+var ErrNoEstimators = errors.New("no estimators registered under dataset")
+
+// SaveDataset snapshots every snapshot-able estimator registered under
+// "<dataset>/" into the store and returns the saved snapshot infos plus
+// the names that were skipped (estimators that answer from data rather
+// than from a solved model, like "/exact" and the sampling baselines).
+func SaveDataset(reg *Registry, st *store.Store, dataset string) (saved []store.SnapshotInfo, skipped []string, err error) {
+	prefix := dataset + "/"
+	matched := false
+	for _, e := range reg.Entries() {
+		if !strings.HasPrefix(e.Name, prefix) {
+			continue
+		}
+		matched = true
+		info, err := st.Save(e.Name, e.Estimator)
+		if err != nil {
+			if errors.Is(err, summary.ErrNotSnapshotable) {
+				skipped = append(skipped, e.Name)
+				continue
+			}
+			return saved, skipped, err
+		}
+		saved = append(saved, info)
+	}
+	if !matched {
+		return nil, nil, fmt.Errorf("server: %w: %q", ErrNoEstimators, prefix)
+	}
+	return saved, skipped, nil
+}
+
+// --- HTTP endpoints ---------------------------------------------------
+
+// SnapshotsResponse is the body of GET /snapshots.
+type SnapshotsResponse struct {
+	Datasets []store.Manifest `json:"datasets"`
+}
+
+// SnapshotSaveResponse is the body of a successful POST
+// /snapshots/{dataset}.
+type SnapshotSaveResponse struct {
+	Dataset   string               `json:"dataset"`
+	Saved     []store.SnapshotInfo `json:"saved"`
+	Skipped   []string             `json:"skipped,omitempty"`
+	ElapsedNS int64                `json:"elapsed_ns"`
+}
+
+// requireStore writes the no-store error and reports whether a store is
+// configured.
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.opts.Store == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "no snapshot store configured (start summaryd with -store)"})
+		return false
+	}
+	return true
+}
+
+// handleSnapshotList serves GET /snapshots: every dataset manifest of the
+// configured store (datasets, versions, sizes, checksums, timestamps).
+func (s *Server) handleSnapshotList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	if !s.requireStore(w) {
+		return
+	}
+	manifests, err := s.opts.Store.List()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotsResponse{Datasets: manifests})
+}
+
+// handleSnapshotSave serves POST /snapshots/{dataset}: it snapshots every
+// snapshot-able estimator registered under "<dataset>/" as a new
+// immutable version each.
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.requireStore(w) {
+		return
+	}
+	dataset := strings.TrimPrefix(r.URL.Path, "/snapshots/")
+	if dataset == "" || strings.Contains(dataset, "/") {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "use POST /snapshots/{dataset} with a single-segment dataset name"})
+		return
+	}
+	start := s.opts.Now()
+	saved, skipped, err := SaveDataset(s.reg, s.opts.Store, dataset)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoEstimators) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotSaveResponse{
+		Dataset:   dataset,
+		Saved:     saved,
+		Skipped:   skipped,
+		ElapsedNS: s.opts.Now().Sub(start).Nanoseconds(),
+	})
+}

@@ -1,0 +1,218 @@
+package server_test
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TestRestartRoundTrip is the persistence acceptance test: a dataset is
+// built once with a store attached (snapshots saved on build), then a
+// completely fresh registry is cold-started from the store alone — no
+// relation, no solver — and must answer a randomized workload
+// bit-identically to the original in-process estimators, over HTTP.
+func TestRestartRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First process lifetime: build from data, snapshotting on build.
+	reg1 := server.NewRegistry()
+	rel := experiment.SyntheticRelation(3000, rand.New(rand.NewSource(1)))
+	names, err := server.BuildDataset(reg1, "demo", rel, server.DatasetOptions{
+		Partitions: 2,
+		Store:      st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process lifetime: restore from the store alone.
+	reg2 := server.NewRegistry()
+	restored, problems, err := server.RestoreStore(reg2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("restore problems: %+v", problems)
+	}
+	sort.Strings(restored)
+	want := []string{"demo/maxent", "demo/partitioned"}
+	if len(restored) != len(want) || restored[0] != want[0] || restored[1] != want[1] {
+		t.Fatalf("restored %v, want %v (built: %v)", restored, want, names)
+	}
+
+	srv := server.New(reg2, server.Options{Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	sch := rel.Schema()
+	for _, name := range want {
+		orig, ok := reg1.Get(name)
+		if !ok {
+			t.Fatalf("original registry lost %q", name)
+		}
+		for q := 0; q < 50; q++ {
+			pred := query.NewPredicate(sch.NumAttrs())
+			for a := 0; a < sch.NumAttrs(); a++ {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				lo := rng.Intn(sch.Attr(a).Size())
+				pred.WhereRange(a, lo, lo+rng.Intn(sch.Attr(a).Size()-lo))
+			}
+			wantCount, err := orig.Estimator.EstimateCount(pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, body := postJSON(t, ts.URL+"/query", server.QueryRequest{Estimator: name, Predicate: pred})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /query (%s): %d %s", name, resp.StatusCode, body)
+			}
+			var qr server.QueryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(qr.Count) != math.Float64bits(wantCount) {
+				t.Fatalf("%s query %d: restored-over-HTTP count %v != freshly-built %v",
+					name, q, qr.Count, wantCount)
+			}
+		}
+	}
+}
+
+// TestSnapshotEndpoints drives the admin surface: GET /snapshots lists
+// versions, POST /snapshots/{dataset} saves new ones (skipping the
+// data-bound estimators), and both fail cleanly without a store.
+func TestSnapshotEndpoints(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	rel := experiment.SyntheticRelation(2000, rand.New(rand.NewSource(2)))
+	if _, err := server.BuildDataset(reg, "demo", rel, server.DatasetOptions{
+		SampleRate: 0.05,
+		Store:      st, // v1 of demo/maxent saved on build
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Options{Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// POST /snapshots/demo: saves maxent v2, skips exact and the samples.
+	resp, body := postJSON(t, ts.URL+"/snapshots/demo", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /snapshots/demo: %d %s", resp.StatusCode, body)
+	}
+	var saveResp server.SnapshotSaveResponse
+	if err := json.Unmarshal(body, &saveResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(saveResp.Saved) != 1 || saveResp.Saved[0].Dataset != "demo/maxent" || saveResp.Saved[0].Version != 2 {
+		t.Fatalf("saved %+v, want demo/maxent v2", saveResp.Saved)
+	}
+	if len(saveResp.Skipped) != 3 { // exact, uniform, stratified
+		t.Fatalf("skipped %v, want the 3 data-bound estimators", saveResp.Skipped)
+	}
+
+	// GET /snapshots lists both versions.
+	getResp, err := http.Get(ts.URL + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var list server.SnapshotsResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 1 || list.Datasets[0].Dataset != "demo/maxent" || len(list.Datasets[0].Snapshots) != 2 {
+		t.Fatalf("GET /snapshots: %+v", list.Datasets)
+	}
+
+	// Unknown dataset → 404; bad method → 405.
+	resp, _ = postJSON(t, ts.URL+"/snapshots/nosuch", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /snapshots/nosuch: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/snapshots", struct{}{})
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /snapshots: %d, want 405", resp.StatusCode)
+	}
+
+	// Without a store, the endpoints report 501.
+	bare := httptest.NewServer(server.New(reg, server.Options{}).Handler())
+	defer bare.Close()
+	resp, _ = postJSON(t, bare.URL+"/snapshots/demo", struct{}{})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("storeless POST /snapshots/demo: %d, want 501", resp.StatusCode)
+	}
+	getResp2, err := http.Get(bare.URL + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp2.Body.Close()
+	if getResp2.StatusCode != http.StatusNotImplemented {
+		t.Errorf("storeless GET /snapshots: %d, want 501", getResp2.StatusCode)
+	}
+}
+
+// TestRestoreProblemsAreIsolated: a name collision (or any per-dataset
+// failure) is reported as a problem and skipped — it must neither
+// silently shadow the registered estimator nor abort the rest of the
+// restore. Except-prefixes exclude datasets up front.
+func TestRestoreProblemsAreIsolated(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	rel := experiment.SyntheticRelation(1500, rand.New(rand.NewSource(3)))
+	if _, err := server.BuildDataset(reg, "demo", rel, server.DatasetOptions{
+		SkipExact: true,
+		Store:     st,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.BuildDataset(server.NewRegistry(), "other", rel, server.DatasetOptions{
+		SkipExact: true,
+		Store:     st,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// demo/maxent collides with the live registration; other/maxent is
+	// new and must restore anyway.
+	restored, problems, err := server.RestoreStore(reg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || problems[0].Dataset != "demo/maxent" {
+		t.Fatalf("problems = %+v, want exactly the demo/maxent collision", problems)
+	}
+	if len(restored) != 1 || restored[0] != "other/maxent" {
+		t.Fatalf("restored = %v, want [other/maxent]", restored)
+	}
+
+	// Except-prefixes skip silently: no problem, no registration.
+	reg2 := server.NewRegistry()
+	restored, problems, err = server.RestoreStore(reg2, st, "demo/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 || len(restored) != 1 || restored[0] != "other/maxent" {
+		t.Fatalf("excepted restore: restored=%v problems=%+v", restored, problems)
+	}
+}

@@ -1,0 +1,600 @@
+// Package store persists solved summaries as immutable, versioned
+// snapshots on disk, following the bolt-on versioning approach of
+// OrpheusDB: the expensive artifact — a converged MaxEnt model — is built
+// once (by cmd/summarize or a serving build) and then restored on every
+// cold start in time proportional to the summary size, never the relation
+// size.
+//
+// Layout: one directory per dataset key (keys are slash-separated name
+// segments, conventionally "<dataset>/<strategy>"), holding monotonically
+// versioned snapshot files v000001.snap, v000002.snap, … plus a
+// MANIFEST.json describing them. Every file is written to a temporary
+// name and atomically renamed into place, so readers never observe a
+// partial snapshot and a crashed writer leaves at most a *.tmp straggler.
+//
+// On-disk snapshot framing: an 8-byte magic, a format version, the
+// payload length, and a CRC32-C checksum, followed by the payload
+// produced by summary.EncodeEstimator. Load verifies all four before
+// decoding, so truncated or corrupted files are rejected with descriptive
+// errors instead of being decoded into a silently-wrong model.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/summary"
+)
+
+const (
+	// magic identifies a snapshot file; the trailing byte doubles as a
+	// framing-format version bump space ("1" today).
+	magic = "EDBSNAP1"
+	// formatVersion is the payload format version; bump it when the
+	// summary codec changes incompatibly.
+	formatVersion = 1
+	// headerSize is magic (8) + version (2) + reserved (2) + payload
+	// length (8) + CRC32-C (4).
+	headerSize = 8 + 2 + 2 + 8 + 4
+	// manifestName is the per-dataset manifest file.
+	manifestName = "MANIFEST.json"
+	// maxPayload bounds how large a payload Load will read (1 GiB), so a
+	// corrupted length field cannot drive an absurd allocation.
+	maxPayload = 1 << 30
+)
+
+// ErrCorrupt tags every integrity failure Load can report (bad magic,
+// version mismatch, length mismatch, checksum mismatch, undecodable
+// payload), so callers can distinguish damage from absence.
+var ErrCorrupt = errors.New("snapshot corrupt")
+
+// ErrNotFound is returned when a dataset or version does not exist.
+var ErrNotFound = errors.New("snapshot not found")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// keySegment validates one path segment of a dataset key.
+var keySegment = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// SnapshotInfo describes one stored snapshot; it is both the manifest
+// entry and the wire shape of the summaryd snapshot endpoints.
+type SnapshotInfo struct {
+	// Dataset is the key the snapshot is stored under, conventionally
+	// "<dataset>/<strategy>".
+	Dataset string `json:"dataset"`
+	// Version is the monotonically increasing snapshot version, starting
+	// at 1.
+	Version int `json:"version"`
+	// Estimator is the Name() of the stored estimator.
+	Estimator string `json:"estimator"`
+	// Bytes is the payload size (framing excluded).
+	Bytes int64 `json:"bytes"`
+	// Checksum is the CRC32-C of the payload.
+	Checksum uint32 `json:"checksum"`
+	// CreatedAt is the save wall-clock time (UTC).
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Manifest lists the live snapshots of one dataset key, ascending by
+// version.
+type Manifest struct {
+	Dataset   string         `json:"dataset"`
+	Snapshots []SnapshotInfo `json:"snapshots"`
+}
+
+// Latest returns the newest snapshot of the manifest.
+func (m Manifest) Latest() (SnapshotInfo, bool) {
+	if len(m.Snapshots) == 0 {
+		return SnapshotInfo{}, false
+	}
+	return m.Snapshots[len(m.Snapshots)-1], true
+}
+
+// Store is a directory-backed snapshot store. Saves within one process
+// are serialized by an internal mutex; loads are lock-free and may run
+// concurrently with saves, because completed snapshot files are immutable
+// and both snapshots and manifests become visible only through atomic
+// renames.
+//
+// Across processes (a batch cmd/summarize writing the directory a live
+// summaryd serves from), safety rests on the filesystem: a version is
+// claimed by link(2)ing the finished temp file to its final name, which
+// fails on an existing target — so a snapshot file, once saved, can never
+// be clobbered and version numbers are never handed out twice. Manifest
+// rewrites merge the on-disk manifest and the directory listing first, so
+// an entry a concurrent writer published is folded in rather than
+// dropped; an interleaving that still loses a manifest entry leaves the
+// snapshot file intact and the entry is healed back in by the next save
+// or prune.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+	now func() time.Time // injectable for tests
+}
+
+// Open validates dir as a snapshot store root: it creates the directory
+// if missing and probes writability up front (create-and-remove of a
+// temporary file), so a misconfigured path fails at startup rather than
+// at the first save hours later.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: directory %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	if err := os.Remove(name); err != nil {
+		return nil, fmt.Errorf("store: cleaning writability probe: %w", err)
+	}
+	return &Store{dir: dir, now: time.Now}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validateKey checks a dataset key: slash-separated segments of
+// [a-zA-Z0-9._-] starting with an alphanumeric, so keys map onto
+// directory paths without traversal or hidden-file surprises.
+func validateKey(dataset string) error {
+	if dataset == "" {
+		return errors.New("store: dataset key must not be empty")
+	}
+	for _, seg := range strings.Split(dataset, "/") {
+		if !keySegment.MatchString(seg) {
+			return fmt.Errorf("store: invalid dataset key %q (segment %q; want [a-zA-Z0-9._-]+ starting alphanumeric)", dataset, seg)
+		}
+	}
+	return nil
+}
+
+func (s *Store) datasetDir(dataset string) string {
+	return filepath.Join(append([]string{s.dir}, strings.Split(dataset, "/")...)...)
+}
+
+func snapshotFile(version int) string { return fmt.Sprintf("v%06d.snap", version) }
+
+// Save encodes the estimator and writes it as the next version of the
+// dataset key, atomically, then folds it into the manifest. Only solved
+// summaries are snapshot-able; see summary.EncodeEstimator.
+func (s *Store) Save(dataset string, est core.Estimator) (SnapshotInfo, error) {
+	if err := validateKey(dataset); err != nil {
+		return SnapshotInfo{}, err
+	}
+	var payload bytes.Buffer
+	if err := summary.EncodeEstimator(&payload, est); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: encode %q: %w", dataset, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dir := s.datasetDir(dataset)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+
+	info := SnapshotInfo{
+		Dataset:   dataset,
+		Estimator: est.Name(),
+		Bytes:     int64(payload.Len()),
+		Checksum:  crc32.Checksum(payload.Bytes(), crcTable),
+		CreatedAt: s.now().UTC(),
+	}
+	var framed bytes.Buffer
+	framed.Grow(headerSize + payload.Len())
+	framed.WriteString(magic)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], formatVersion)
+	// hdr[2:4] reserved, zero.
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], info.Checksum)
+	framed.Write(hdr[:])
+	framed.Write(payload.Bytes())
+
+	version, err := s.claimVersion(dataset, framed.Bytes())
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	info.Version = version
+	if err := s.mergeIntoManifest(dataset, []SnapshotInfo{info}, nil); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return info, nil
+}
+
+// claimVersion writes the framed snapshot to a temp file and claims the
+// next free version number by hard-linking it into place: link(2) fails
+// on an existing target, so even a concurrent saver in another process
+// can neither clobber this snapshot nor receive the same version — the
+// loser of the race simply retries with the next number.
+func (s *Store) claimVersion(dataset string, framed []byte) (int, error) {
+	dir := s.datasetDir(dataset)
+	tmp, err := os.CreateTemp(dir, ".snap.tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: write snapshot %q: %w", dataset, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: write snapshot %q: %w", dataset, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: write snapshot %q: %w", dataset, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("store: write snapshot %q: %w", dataset, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return 0, fmt.Errorf("store: write snapshot %q: %w", dataset, err)
+	}
+
+	version := s.nextVersion(dataset)
+	for attempt := 0; attempt < 1000; attempt, version = attempt+1, version+1 {
+		err := os.Link(tmpName, filepath.Join(dir, snapshotFile(version)))
+		if err == nil {
+			return version, nil
+		}
+		if errors.Is(err, fs.ErrExist) {
+			continue // lost the race for this number; try the next
+		}
+		return 0, fmt.Errorf("store: claim snapshot %q v%d: %w", dataset, version, err)
+	}
+	return 0, fmt.Errorf("store: could not claim a version for %q after 1000 attempts", dataset)
+}
+
+// nextVersion returns one past the highest version visible in either the
+// manifest or the directory itself, so a stale manifest (e.g. one a
+// concurrent writer has not merged yet) can never cause a version to be
+// reused.
+func (s *Store) nextVersion(dataset string) int {
+	max := 0
+	if man, err := s.readManifest(dataset); err == nil || errors.Is(err, ErrNotFound) {
+		if last, ok := man.Latest(); ok {
+			max = last.Version
+		}
+	}
+	for _, v := range s.diskVersions(dataset) {
+		if v > max {
+			max = v
+		}
+	}
+	return max + 1
+}
+
+// diskVersions lists the snapshot versions physically present in the
+// dataset directory, ascending.
+func (s *Store) diskVersions(dataset string) []int {
+	entries, err := os.ReadDir(s.datasetDir(dataset))
+	if err != nil {
+		return nil
+	}
+	var out []int
+	for _, e := range entries {
+		var v int
+		if _, err := fmt.Sscanf(e.Name(), "v%06d.snap", &v); err == nil && snapshotFile(v) == e.Name() {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Load reads and verifies one snapshot and reconstructs its estimator.
+// version <= 0 selects the latest. The returned estimator is query-ready;
+// no solver work happens on this path, so load time is proportional to
+// the summary size, independent of the summarized relation.
+func (s *Store) Load(dataset string, version int) (core.Estimator, SnapshotInfo, error) {
+	if err := validateKey(dataset); err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	man, err := s.readManifest(dataset)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	var info SnapshotInfo
+	if version <= 0 {
+		last, ok := man.Latest()
+		if !ok {
+			return nil, SnapshotInfo{}, fmt.Errorf("store: dataset %q has no snapshots: %w", dataset, ErrNotFound)
+		}
+		info = last
+	} else {
+		found := false
+		for _, sn := range man.Snapshots {
+			if sn.Version == version {
+				info, found = sn, true
+				break
+			}
+		}
+		if !found {
+			return nil, SnapshotInfo{}, fmt.Errorf("store: dataset %q has no version %d: %w", dataset, version, ErrNotFound)
+		}
+	}
+
+	path := filepath.Join(s.datasetDir(dataset), snapshotFile(info.Version))
+	payload, err := readFramed(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("store: snapshot %q v%d: %w", dataset, info.Version, err)
+	}
+	est, err := summary.DecodeEstimator(bytes.NewReader(payload))
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("store: snapshot %q v%d: %w: %v", dataset, info.Version, ErrCorrupt, err)
+	}
+	return est, info, nil
+}
+
+// readFramed reads a snapshot file and returns its verified payload.
+func readFramed(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	var head [headerSize]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header truncated (%v)", ErrCorrupt, err)
+	}
+	if string(head[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:8])
+	}
+	if v := binary.LittleEndian.Uint16(head[8:10]); v != formatVersion {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrCorrupt, v, formatVersion)
+	}
+	length := binary.LittleEndian.Uint64(head[12:20])
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte bound", ErrCorrupt, length, int64(maxPayload))
+	}
+	want := binary.LittleEndian.Uint32(head[20:24])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload truncated (%v)", ErrCorrupt, err)
+	}
+	// Trailing bytes mean the length field and the file disagree.
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: %d-byte payload followed by trailing garbage", ErrCorrupt, length)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// Versions returns the manifest of one dataset key.
+func (s *Store) Versions(dataset string) (Manifest, error) {
+	if err := validateKey(dataset); err != nil {
+		return Manifest{}, err
+	}
+	return s.readManifest(dataset)
+}
+
+// List walks the store and returns every dataset manifest, sorted by
+// dataset key.
+func (s *Store) List() ([]Manifest, error) {
+	var out []Manifest
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || d.Name() != manifestName {
+			return nil
+		}
+		rel, err := filepath.Rel(s.dir, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		man, err := s.readManifest(filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		out = append(out, man)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out, nil
+}
+
+// Prune deletes all but the newest keep snapshots of the dataset key and
+// returns the removed entries. keep must be at least 1 — pruning to
+// nothing is deleting a dataset, which Prune refuses to do implicitly.
+func (s *Store) Prune(dataset string, keep int) ([]SnapshotInfo, error) {
+	if err := validateKey(dataset); err != nil {
+		return nil, err
+	}
+	if keep < 1 {
+		return nil, fmt.Errorf("store: prune must keep at least 1 snapshot, got %d", keep)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	man, err := s.readManifest(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if len(man.Snapshots) <= keep {
+		return nil, nil
+	}
+	cut := len(man.Snapshots) - keep
+	removed := append([]SnapshotInfo(nil), man.Snapshots[:cut]...)
+	drop := make(map[int]bool, cut)
+	for _, sn := range removed {
+		drop[sn.Version] = true
+	}
+	// Publish the shrunken manifest first: a reader that raced the file
+	// removal would otherwise pick a version from the manifest and find
+	// its file gone.
+	if err := s.mergeIntoManifest(dataset, nil, drop); err != nil {
+		return nil, err
+	}
+	dir := s.datasetDir(dataset)
+	for _, sn := range removed {
+		if err := os.Remove(filepath.Join(dir, snapshotFile(sn.Version))); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return removed, fmt.Errorf("store: prune %q v%d: %w", dataset, sn.Version, err)
+		}
+	}
+	return removed, nil
+}
+
+// --- manifest ---------------------------------------------------------
+
+// mergeIntoManifest rewrites the dataset manifest as the union of what is
+// on disk (manifest ∪ directory ∪ add, minus drop): entries published by
+// concurrent writers are folded in instead of overwritten, and snapshot
+// files missing from the manifest (a lost interleaving) are healed back
+// in with entries synthesized from their verified frames. Callers hold
+// s.mu.
+func (s *Store) mergeIntoManifest(dataset string, add []SnapshotInfo, drop map[int]bool) error {
+	man, err := s.readManifest(dataset)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	man.Dataset = dataset
+	byVersion := make(map[int]SnapshotInfo, len(man.Snapshots)+len(add))
+	for _, sn := range man.Snapshots {
+		byVersion[sn.Version] = sn
+	}
+	for _, sn := range add {
+		byVersion[sn.Version] = sn
+	}
+	for _, v := range s.diskVersions(dataset) {
+		if _, ok := byVersion[v]; ok {
+			continue
+		}
+		if sn, err := s.statSnapshot(dataset, v); err == nil {
+			byVersion[v] = sn
+		}
+		// A file that fails verification stays out of the manifest; Load
+		// would reject it anyway.
+	}
+	man.Snapshots = man.Snapshots[:0]
+	for v, sn := range byVersion {
+		if drop[v] {
+			continue
+		}
+		man.Snapshots = append(man.Snapshots, sn)
+	}
+	sort.Slice(man.Snapshots, func(i, j int) bool { return man.Snapshots[i].Version < man.Snapshots[j].Version })
+	return s.writeManifest(dataset, man)
+}
+
+// statSnapshot synthesizes a manifest entry for a snapshot file the
+// manifest does not know about, from its verified frame and payload
+// prefix.
+func (s *Store) statSnapshot(dataset string, version int) (SnapshotInfo, error) {
+	path := filepath.Join(s.datasetDir(dataset), snapshotFile(version))
+	payload, err := readFramed(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	name, err := summary.PeekName(bytes.NewReader(payload))
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	created := time.Time{}
+	if fi, err := os.Stat(path); err == nil {
+		created = fi.ModTime().UTC()
+	}
+	return SnapshotInfo{
+		Dataset:   dataset,
+		Version:   version,
+		Estimator: name,
+		Bytes:     int64(len(payload)),
+		Checksum:  crc32.Checksum(payload, crcTable),
+		CreatedAt: created,
+	}, nil
+}
+
+func (s *Store) readManifest(dataset string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.datasetDir(dataset), manifestName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Manifest{Dataset: dataset}, fmt.Errorf("store: dataset %q: %w", dataset, ErrNotFound)
+		}
+		return Manifest{}, fmt.Errorf("store: manifest of %q: %w", dataset, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest of %q: %w: %v", dataset, ErrCorrupt, err)
+	}
+	sort.Slice(man.Snapshots, func(i, j int) bool { return man.Snapshots[i].Version < man.Snapshots[j].Version })
+	return man, nil
+}
+
+func (s *Store) writeManifest(dataset string, man Manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: manifest of %q: %w", dataset, err)
+	}
+	if err := atomicWrite(filepath.Join(s.datasetDir(dataset), manifestName), append(data, '\n')); err != nil {
+		return fmt.Errorf("store: manifest of %q: %w", dataset, err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to a temporary file in the target's directory,
+// fsyncs it, and renames it into place, so the target path only ever
+// holds a complete file.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// CreateTemp defaults to 0600; snapshots are shared, read-only
+	// artifacts.
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

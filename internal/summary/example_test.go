@@ -1,0 +1,43 @@
+package summary_test
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/summary"
+)
+
+// ExampleBuild runs the full pipeline — complete 1D statistics, selected
+// 2D statistics, polynomial compression, MaxEnt solve — over a small
+// relation and answers a counting query from the solved model alone. The
+// 1D statistic families are complete, so single-attribute counts are
+// reproduced (up to solver tolerance) without touching the data again.
+func ExampleBuild() {
+	sch := schema.MustNew(
+		schema.MustCategorical("color", []string{"red", "green", "blue"}),
+		schema.MustCategorical("size", []string{"S", "M", "L"}),
+	)
+	rel := relation.New(sch)
+	for i := 0; i < 90; i++ {
+		rel.MustAppend([]int{i % 3, (i / 3) % 3})
+	}
+
+	sum, err := summary.Build(rel, summary.Options{PairBudget: -1})
+	if err != nil {
+		panic(err)
+	}
+
+	// COUNT(*) WHERE color = 'red' — a third of the 90 rows.
+	red := query.NewPredicate(2).WhereEq(0, 0)
+	count, err := sum.EstimateCount(red)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("count(color=red) ≈ %.0f of %.0f rows\n", count, sum.N())
+	fmt.Printf("model size: %d bytes\n", sum.ApproxBytes())
+	// Output:
+	// count(color=red) ≈ 30 of 90 rows
+	// model size: 48 bytes
+}

@@ -11,6 +11,7 @@
 // Partitioned implements core.Estimator, so the experiment harness and
 // cmd/experiment drive it through the same interface as every other
 // strategy.
+
 package summary
 
 import (
