@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,19 +28,21 @@ import (
 
 func main() {
 	var (
-		rows       = flag.Int("rows", 20000, "synthetic relation cardinality")
-		queries    = flag.Int("queries", 40, "workload size")
-		seed       = flag.Int64("seed", 1, "seed for data, samples, and workload")
-		rate       = flag.Float64("rate", 0.01, "sampling rate of the baselines")
-		pairBudget = flag.Int("pairs", 2, "attribute pairs receiving 2D statistics (B_a)")
-		perPair    = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
-		heuristic  = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
-		sweeps     = flag.Int("sweeps", 200, "solver sweep budget")
-		relax      = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
-		solverWork = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
-		partitions = flag.Int("partitions", 0, "when > 0, also build a K-way partitioned summary (built concurrently)")
-		storeDir   = flag.String("store", "", "when set, snapshot the built summaries into this store directory (created if missing)")
-		dataset    = flag.String("dataset", "demo", "dataset name snapshots are stored under (with -store)")
+		rows          = flag.Int("rows", 20000, "synthetic relation cardinality")
+		queries       = flag.Int("queries", 40, "workload size")
+		seed          = flag.Int64("seed", 1, "seed for data, samples, and workload")
+		rate          = flag.Float64("rate", 0.01, "sampling rate of the baselines")
+		pairBudget    = flag.Int("pairs", 2, "attribute pairs receiving 2D statistics (B_a)")
+		perPair       = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
+		heuristic     = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
+		sweeps        = flag.Int("sweeps", 200, "solver sweep budget")
+		relax         = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
+		solverWork    = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
+		partitions    = flag.Int("partitions", 0, "when > 0, also build a K-way partitioned summary (built concurrently)")
+		storeDir      = flag.String("store", "", "when set, snapshot the built summaries into this store directory (created if missing)")
+		dataset       = flag.String("dataset", "demo", "dataset name snapshots are stored under (with -store)")
+		streamBatches = flag.Int("stream", 0, "when > 0, run the streaming-drift scenario with this many append batches instead of the static report")
+		streamRows    = flag.Int("stream-rows", 1000, "rows per streaming batch (with -stream)")
 	)
 	flag.Parse()
 
@@ -63,17 +66,49 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	rel := experiment.SyntheticRelation(*rows, rng)
-	sch := rel.Schema()
-	fmt.Fprintf(os.Stderr, "relation: %s, %d rows\n", sch, rel.NumRows())
-
 	buildOpts := summary.Options{
 		PairBudget:    *pairBudget,
 		PerPairBudget: *perPair,
 		Heuristic:     h,
 		Solver:        solver.Options{MaxSweeps: *sweeps, Relaxation: *relax, Workers: *solverWork},
 	}
+
+	// The streaming-drift scenario replaces the static accuracy report: it
+	// measures how a never-refreshed summary decays as drifting batches
+	// arrive, against one refreshed (delta stats + warm solve) per batch.
+	if *streamBatches > 0 {
+		if *streamRows <= 0 {
+			fmt.Fprintf(os.Stderr, "experiment: -stream-rows must be positive, got %d\n", *streamRows)
+			os.Exit(2)
+		}
+		rep, err := experiment.RunStreaming(experiment.StreamingOptions{
+			BaseRows:  *rows,
+			Batches:   *streamBatches,
+			BatchRows: *streamRows,
+			Queries:   *queries,
+			Seed:      *seed,
+			Summary:   buildOpts,
+			Refresh:   summary.RefreshOptions{Solver: buildOpts.Solver},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range rep.Steps {
+			fmt.Fprintf(os.Stderr, "batch %d (%d rows): stale err %.4f, refreshed err %.4f (%d sweeps, rebuilt=%t)\n",
+				s.Batch, s.TotalRows, s.StaleMeanError, s.RefreshedMeanError, s.RefreshSweeps, s.Rebuilt)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	rel := experiment.SyntheticRelation(*rows, rng)
+	sch := rel.Schema()
+	fmt.Fprintf(os.Stderr, "relation: %s, %d rows\n", sch, rel.NumRows())
 	sum, err := summary.Build(rel, buildOpts)
 	if err != nil {
 		log.Fatal(err)

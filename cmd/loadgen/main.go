@@ -4,8 +4,14 @@
 // on a bounded worker pool, and prints client-side throughput and p50/p95
 // latency as JSON — the numbers the BENCH.md serving table records.
 //
+// With -ingest-every N, one request slot in N becomes a POST
+// /ingest/{dataset} carrying -ingest-batch random schema-compatible rows:
+// the mixed read/write workload of a live deployment, exercising the
+// refresh + hot-swap path under concurrent queries.
+//
 //	go run ./cmd/summaryd &
 //	go run ./cmd/loadgen -addr http://localhost:8080 -estimator demo/maxent -requests 2000
+//	go run ./cmd/loadgen -estimator demo/maxent -requests 2000 -ingest-every 10 -ingest-batch 50
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
@@ -32,6 +39,9 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		concurrency = flag.Int("concurrency", 8, "in-flight requests")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		ingestEvery = flag.Int("ingest-every", 0, "make every Nth request an ingest (0 disables the write mix)")
+		ingestBatch = flag.Int("ingest-batch", 10, "rows per ingest request")
+		ingestData  = flag.String("ingest-dataset", "", "dataset for POST /ingest/{dataset} (default: the estimator's dataset prefix)")
 	)
 	flag.Parse()
 	if *queries <= 0 {
@@ -40,6 +50,10 @@ func main() {
 	}
 	if *requests < 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: -requests must be non-negative, got %d\n", *requests)
+		os.Exit(2)
+	}
+	if *ingestEvery < 0 || *ingestBatch <= 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -ingest-every must be non-negative and -ingest-batch positive\n")
 		os.Exit(2)
 	}
 
@@ -55,11 +69,38 @@ func main() {
 	} else if *requests > *queries {
 		repeat = (*requests + *queries - 1) / *queries
 	}
-	res, err := experiment.DriveHTTP(*addr, *estimator, workload, experiment.LoadOptions{
+	opts := experiment.LoadOptions{
 		Concurrency: *concurrency,
 		Repeat:      repeat,
 		Timeout:     *timeout,
-	})
+	}
+	if *ingestEvery > 0 {
+		dataset := *ingestData
+		if dataset == "" {
+			dataset = *estimator
+			if i := strings.IndexByte(dataset, '/'); i >= 0 {
+				dataset = dataset[:i]
+			}
+		}
+		// A pool of random schema-compatible rows; batches rotate through
+		// it, so the ingested distribution is uniform over the domains.
+		rng := rand.New(rand.NewSource(*seed + 11))
+		pool := make([][]int, max(*ingestBatch*8, 256))
+		for i := range pool {
+			row := make([]int, sch.NumAttrs())
+			for a := range row {
+				row[a] = rng.Intn(sch.Attr(a).Size())
+			}
+			pool[i] = row
+		}
+		opts.Ingest = &experiment.IngestMix{
+			Dataset: dataset,
+			Every:   *ingestEvery,
+			Batch:   *ingestBatch,
+			Rows:    pool,
+		}
+	}
+	res, err := experiment.DriveHTTP(*addr, *estimator, workload, opts)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -68,7 +109,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(string(out))
-	if res.Errors > 0 {
+	if res.Errors > 0 || res.IngestErrors > 0 {
 		os.Exit(1)
 	}
 }

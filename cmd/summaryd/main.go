@@ -12,11 +12,26 @@
 // versions of the live estimators and GET /snapshots lists what is
 // stored.
 //
-// Endpoints: POST /query, POST /groupby, GET /estimators, GET /healthz,
-// GET /metrics, GET /snapshots, POST /snapshots/{dataset}. See
-// docs/API.md for the full wire reference and the README's "Serving
-// summaries" section for a curl walkthrough. The process shuts down
-// gracefully on SIGINT/SIGTERM, draining in-flight requests.
+// summaryd also serves live ingestion: POST /ingest/{dataset} appends
+// rows (JSON-encoded domain values or a raw CSV body) to the dataset's
+// relation, and a refresh policy (-refresh-rows threshold and/or the
+// -refresh-interval ticker) folds the backlog into new estimator versions
+// that are hot-swapped in with zero downtime. The maxent model refreshes
+// incrementally on small deltas — delta statistics plus a warm-started
+// solve — while the data-bound strategies (exact, samples) and the
+// partitioned summary are rebuilt from the grown relation each refresh.
+// Every new model version is published to the snapshot store when -store
+// is set; /metrics reports per-dataset generation and staleness. On a
+// snapshot restart the demo relation is regenerated from -seed, so a
+// model that already absorbed ingested rows is served read-only (the
+// rows exist only in the model; ingestion re-enables after a rebuild).
+//
+// Endpoints: POST /query, POST /groupby, POST /ingest/{dataset},
+// GET /estimators, GET /healthz, GET /metrics, GET /snapshots,
+// POST /snapshots/{dataset}. See docs/API.md for the full wire reference
+// and the README's "Serving summaries" section for a curl walkthrough.
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
 package main
 
 import (
@@ -34,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/solver"
 	"repro/internal/stats"
@@ -43,29 +59,39 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		dataset    = flag.String("dataset", "demo", "dataset name estimators are registered under")
-		rows       = flag.Int("rows", 20000, "synthetic relation cardinality")
-		seed       = flag.Int64("seed", 1, "seed for data and samples")
-		rate       = flag.Float64("rate", 0.01, "sampling rate of the baselines (0 disables them)")
-		pairBudget = flag.Int("pairs", 2, "attribute pairs receiving 2D statistics (B_a)")
-		perPair    = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
-		heuristic  = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
-		sweeps     = flag.Int("sweeps", 200, "solver sweep budget")
-		relax      = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
-		solverWork = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
-		partitions = flag.Int("partitions", 0, "when > 0, also serve a K-way partitioned summary")
-		noExact    = flag.Bool("no-exact", false, "do not serve the exact full-scan engine")
-		timeout    = flag.Duration("timeout", 5*time.Second, "per-request handling timeout")
-		maxConc    = flag.Int("max-concurrent", 64, "maximum concurrent estimator evaluations")
-		cacheSize  = flag.Int("cache", 4096, "result-cache capacity in entries (-1 disables)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-		storeDir   = flag.String("store", "", "snapshot store directory: restore summaries at startup, save on build (created if missing)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "demo", "dataset name estimators are registered under")
+		rows        = flag.Int("rows", 20000, "synthetic relation cardinality")
+		seed        = flag.Int64("seed", 1, "seed for data and samples")
+		rate        = flag.Float64("rate", 0.01, "sampling rate of the baselines (0 disables them)")
+		pairBudget  = flag.Int("pairs", 2, "attribute pairs receiving 2D statistics (B_a)")
+		perPair     = flag.Int("per-pair", 8, "2D statistics per pair (B_s)")
+		heuristic   = flag.String("heuristic", "COMPOSITE", "bucket heuristic: LARGE, ZERO, or COMPOSITE")
+		sweeps      = flag.Int("sweeps", 200, "solver sweep budget")
+		relax       = flag.Float64("relax", 1, "solver over-relaxation exponent ω in (0,2); 0 selects the default plain update (ω=1)")
+		solverWork  = flag.Int("solver-workers", 1, "worker-pool size for the solver's derivative batches")
+		partitions  = flag.Int("partitions", 0, "when > 0, also serve a K-way partitioned summary")
+		noExact     = flag.Bool("no-exact", false, "do not serve the exact full-scan engine")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request handling timeout")
+		maxConc     = flag.Int("max-concurrent", 64, "maximum concurrent estimator evaluations")
+		cacheSize   = flag.Int("cache", 4096, "result-cache capacity in entries (-1 disables)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		storeDir    = flag.String("store", "", "snapshot store directory: restore summaries at startup, save on build (created if missing)")
+		refreshRows = flag.Int("refresh-rows", 1000, "hot-swap refreshed estimators once this many ingested rows are pending (0 disables threshold refreshes)")
+		refreshIvl  = flag.Duration("refresh-interval", 0, "additionally refresh pending ingested rows on this period (0 disables)")
 	)
 	flag.Parse()
 
 	if err := validate(*rows, *rate, *partitions, *sweeps); err != nil {
 		fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
+		os.Exit(2)
+	}
+	if *refreshRows < 0 {
+		fmt.Fprintf(os.Stderr, "summaryd: -refresh-rows must be non-negative, got %d\n", *refreshRows)
+		os.Exit(2)
+	}
+	if *refreshIvl < 0 {
+		fmt.Fprintf(os.Stderr, "summaryd: -refresh-interval must be non-negative, got %v\n", *refreshIvl)
 		os.Exit(2)
 	}
 	h, err := stats.ParseHeuristic(*heuristic)
@@ -118,19 +144,8 @@ func main() {
 		}
 	}
 
-	// Build the configured dataset only when the store did not already
-	// provide its summaries — the restartable-service path: the relation
-	// is regenerated and the solver re-run exclusively on the first start.
-	if fromSnapshot {
-		log.Printf("dataset %q: serving from snapshot, skipping build", *dataset)
-		if *rate > 0 || !*noExact {
-			log.Printf("dataset %q: note: the exact engine and sampling baselines are data-bound and cannot be restored from snapshots; pass -rate 0 -no-exact to silence", *dataset)
-		}
-	} else {
-		rel := experiment.SyntheticRelation(*rows, rand.New(rand.NewSource(*seed)))
-		log.Printf("dataset %q: %s, %d rows", *dataset, rel.Schema(), rel.NumRows())
-		buildStart := time.Now()
-		names, err := server.BuildDataset(reg, *dataset, rel, server.DatasetOptions{
+	liveOpts := server.LiveOptions{
+		Dataset: server.DatasetOptions{
 			Summary: summary.Options{
 				PairBudget:    *pairBudget,
 				PerPairBudget: *perPair,
@@ -142,7 +157,40 @@ func main() {
 			SampleSeed: *seed,
 			SkipExact:  *noExact,
 			Store:      st,
-		})
+		},
+		RefreshRows: *refreshRows,
+	}
+
+	// The live relation backs POST /ingest/{dataset} in both start modes;
+	// on a snapshot start it is regenerated from the same seed, so it is
+	// exactly the relation the restored summaries cover.
+	mut := relation.NewMutable(experiment.SyntheticRelation(*rows, rand.New(rand.NewSource(*seed))))
+	var live *server.Live
+
+	// Build the configured dataset only when the store did not already
+	// provide its summaries — the restartable-service path: the solver is
+	// re-run exclusively on the first start.
+	if fromSnapshot {
+		log.Printf("dataset %q: serving from snapshot, skipping build", *dataset)
+		if *rate > 0 || !*noExact {
+			log.Printf("dataset %q: note: the exact engine and sampling baselines are data-bound and cannot be restored from snapshots; pass -rate 0 -no-exact to silence", *dataset)
+		}
+		live, err = server.NewLive(reg, *dataset, mut, st, liveOpts)
+		if err != nil {
+			// The restored summary covers rows the regenerated synthetic
+			// relation does not hold — either the flags changed (-rows,
+			// -seed) or a previous run ingested rows, which live only in
+			// the snapshotted model, not in the demo's regenerated data.
+			// Serve the restored model read-only rather than refusing to
+			// start or silently dropping its ingested state.
+			log.Printf("warning: live ingestion disabled (restored model and regenerated relation disagree): %v", err)
+			live = nil
+		}
+	} else {
+		log.Printf("dataset %q: %s, %d rows", *dataset, mut.Schema(), mut.NumRows())
+		buildStart := time.Now()
+		var names []string
+		live, names, err = server.BuildLiveDataset(reg, *dataset, mut, liveOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,10 +203,41 @@ func main() {
 		CacheSize:     *cacheSize,
 		Store:         st,
 	})
+	if live != nil {
+		srv.AttachLive(live)
+		log.Printf("dataset %q: live ingestion on POST /ingest/%s (refresh threshold %d rows, interval %v)",
+			*dataset, *dataset, *refreshRows, *refreshIvl)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The refresh-interval ticker folds pending ingested rows in even when
+	// traffic never crosses the row threshold (Refresh no-ops when nothing
+	// is pending).
+	if live != nil && *refreshIvl > 0 {
+		go func() {
+			tick := time.NewTicker(*refreshIvl)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					out, err := live.Refresh()
+					if err != nil {
+						log.Printf("interval refresh: %v", err)
+						continue
+					}
+					if out.DeltaRows > 0 {
+						log.Printf("interval refresh: folded %d rows (generation %d, %d sweeps, rebuilt=%t)",
+							out.DeltaRows, out.Generation, out.Sweeps, out.Rebuilt)
+					}
+				}
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("serving on %s", *addr)

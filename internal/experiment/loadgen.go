@@ -14,6 +14,23 @@ import (
 	"repro/internal/server"
 )
 
+// IngestMix turns a read-only load run into a mixed read/write one:
+// every Every-th request slot becomes a POST /ingest/{Dataset} carrying
+// Batch rows from the Rows pool instead of a query — the
+// serving-while-ingesting workload a live deployment sees.
+type IngestMix struct {
+	// Dataset is the target of POST /ingest/{dataset}.
+	Dataset string
+	// Every makes one request slot in Every an ingest (must be >= 1; 1
+	// means every request is an ingest).
+	Every int
+	// Batch is the number of rows per ingest request (default 10).
+	Batch int
+	// Rows is the pool of pre-generated encoded rows ingests draw from
+	// (batches rotate through it).
+	Rows [][]int
+}
+
 // LoadOptions configure DriveHTTP.
 type LoadOptions struct {
 	// Concurrency is the number of in-flight requests (default GOMAXPROCS).
@@ -23,6 +40,9 @@ type LoadOptions struct {
 	Repeat int
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// Ingest, when non-nil with Every >= 1, interleaves ingest requests
+	// with the query workload.
+	Ingest *IngestMix
 }
 
 // LoadResult aggregates one load-generation run; it is the payload
@@ -38,6 +58,16 @@ type LoadResult struct {
 	LatencyMeanNS int64   `json:"latency_mean_ns"`
 	// CachedResponses counts answers the server reported as cache hits.
 	CachedResponses int `json:"cached_responses"`
+	// Ingest accounting (zero unless LoadOptions.Ingest was set). Ingest
+	// latencies are tracked separately from the query quantiles: a
+	// refresh-triggering ingest legitimately takes milliseconds and would
+	// otherwise drown the read-path signal.
+	IngestRequests int   `json:"ingest_requests,omitempty"`
+	IngestErrors   int   `json:"ingest_errors,omitempty"`
+	IngestedRows   int   `json:"ingested_rows,omitempty"`
+	IngestMeanNS   int64 `json:"ingest_mean_ns,omitempty"`
+	// Refreshes counts ingest responses that reported a hot swap.
+	Refreshes int `json:"refreshes,omitempty"`
 	// FirstError carries one representative failure for diagnostics.
 	FirstError string `json:"first_error,omitempty"`
 }
@@ -89,20 +119,55 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 		calls[i] = call{path: path, body: b}
 	}
 
+	// Pre-marshal the rotating ingest bodies when a mix is requested.
+	var (
+		mix          *IngestMix
+		ingestBodies [][]byte
+	)
+	if opts.Ingest != nil && opts.Ingest.Every >= 1 {
+		mix = opts.Ingest
+		if mix.Dataset == "" {
+			return nil, fmt.Errorf("experiment: ingest mix needs a dataset name")
+		}
+		if len(mix.Rows) == 0 {
+			return nil, fmt.Errorf("experiment: ingest mix needs a row pool")
+		}
+		batch := mix.Batch
+		if batch <= 0 {
+			batch = 10
+		}
+		for off := 0; off < len(mix.Rows); off += batch {
+			end := off + batch
+			if end > len(mix.Rows) {
+				end = len(mix.Rows)
+			}
+			b, err := json.Marshal(server.IngestRequest{Rows: mix.Rows[off:end]})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: marshal ingest batch: %w", err)
+			}
+			ingestBodies = append(ingestBodies, b)
+		}
+	}
+
 	client := &http.Client{Timeout: opts.Timeout}
 	total := len(calls) * opts.Repeat
 	jobs := make(chan int)
-	// -1 marks requests that failed in transport and produced no
-	// server-observed latency; they are excluded from the quantiles.
+	// -1 marks requests that failed in transport (and ingest slots); they
+	// are excluded from the query quantiles.
 	latencies := make([]int64, total)
 	for i := range latencies {
 		latencies[i] = -1
 	}
 	var (
-		mu         sync.Mutex
-		errCount   int
-		cachedHits int
-		firstErr   string
+		mu           sync.Mutex
+		errCount     int
+		cachedHits   int
+		firstErr     string
+		ingestReqs   int
+		ingestErrs   int
+		ingestedRows int
+		ingestNS     int64
+		refreshes    int
 	)
 	fail := func(msg string) {
 		mu.Lock()
@@ -120,6 +185,44 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if mix != nil && j%mix.Every == 0 {
+					body := ingestBodies[(j/mix.Every)%len(ingestBodies)]
+					t0 := time.Now()
+					resp, err := client.Post(baseURL+"/ingest/"+mix.Dataset, "application/json", bytes.NewReader(body))
+					ns := time.Since(t0).Nanoseconds()
+					mu.Lock()
+					ingestReqs++
+					ingestNS += ns
+					mu.Unlock()
+					if err != nil {
+						mu.Lock()
+						ingestErrs++
+						if firstErr == "" {
+							firstErr = err.Error()
+						}
+						mu.Unlock()
+						continue
+					}
+					rbody, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					var ir server.IngestResult
+					if resp.StatusCode != http.StatusOK || json.Unmarshal(rbody, &ir) != nil {
+						mu.Lock()
+						ingestErrs++
+						if firstErr == "" {
+							firstErr = fmt.Sprintf("ingest status %d: %s", resp.StatusCode, rbody)
+						}
+						mu.Unlock()
+						continue
+					}
+					mu.Lock()
+					ingestedRows += ir.Accepted
+					if ir.Refreshed {
+						refreshes++
+					}
+					mu.Unlock()
+					continue
+				}
 				c := calls[j%len(calls)]
 				t0 := time.Now()
 				resp, err := client.Post(baseURL+c.path, "application/json", bytes.NewReader(c.body))
@@ -162,7 +265,14 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 		Errors:          errCount,
 		ElapsedNS:       elapsed.Nanoseconds(),
 		CachedResponses: cachedHits,
+		IngestRequests:  ingestReqs,
+		IngestErrors:    ingestErrs,
+		IngestedRows:    ingestedRows,
+		Refreshes:       refreshes,
 		FirstError:      firstErr,
+	}
+	if ingestReqs > 0 {
+		res.IngestMeanNS = ingestNS / int64(ingestReqs)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.ThroughputQPS = float64(total) / secs

@@ -253,6 +253,31 @@ func (s *System) Clone() *System {
 	return c
 }
 
+// CopyVarsFrom overwrites this system's variable assignment with the one
+// of other and rebuilds the caches. The two systems must have the same
+// shape (identical domain sizes and multi-statistic count); the polynomial
+// structures need not be the same object, which lets a freshly built
+// system warm-start from a previously solved one.
+func (s *System) CopyVarsFrom(other *System) error {
+	if len(s.alpha) != len(other.alpha) || len(s.delta) != len(other.delta) {
+		return fmt.Errorf("polynomial: shape mismatch: %d/%d attributes, %d/%d statistics",
+			len(s.alpha), len(other.alpha), len(s.delta), len(other.delta))
+	}
+	for a := range s.alpha {
+		if len(s.alpha[a]) != len(other.alpha[a]) {
+			return fmt.Errorf("polynomial: attribute %d has domain size %d here, %d there",
+				a, len(s.alpha[a]), len(other.alpha[a]))
+		}
+	}
+	for a := range s.alpha {
+		copy(s.alpha[a], other.alpha[a])
+		s.dirty[a] = true
+	}
+	copy(s.delta, other.delta)
+	s.rebuild()
+	return nil
+}
+
 // Variables returns references to every variable of the system: all α
 // variables in attribute-then-value order followed by all δ variables.
 func (s *System) Variables() []VarRef {

@@ -82,50 +82,73 @@ func LoadCSV(r io.Reader, opts CSVOptions) (*Relation, error) {
 
 	// Pass 1: infer one attribute per column.
 	attrs := make([]schema.Attribute, cols)
-	numeric := make([]bool, cols)
 	for c := 0; c < cols; c++ {
-		attr, isNum, err := inferColumn(header[c], records, c, opts)
+		attr, _, err := inferColumn(header[c], records, c, opts)
 		if err != nil {
 			return nil, err
 		}
-		attrs[c], numeric[c] = attr, isNum
+		attrs[c] = attr
 	}
 	sch, err := schema.New(attrs...)
 	if err != nil {
 		return nil, fmt.Errorf("relation: inferred schema: %w", err)
 	}
 
-	// Pass 2: encode every row against the inferred schema.
+	// Pass 2: encode every row against the inferred schema. A column was
+	// inferred Binned iff every field parsed numerically, so the
+	// kind-dispatch inside EncodeRecord reproduces the inference exactly.
 	rel := NewWithCapacity(sch, len(records))
 	tuple := make([]int, cols)
 	for i, rec := range records {
 		if len(rec) != cols {
 			return nil, fmt.Errorf("relation: row %d has %d fields, want %d", i+1, len(rec), cols)
 		}
-		for c, field := range rec {
-			if numeric[c] {
-				x, err := strconv.ParseFloat(field, 64)
-				if err != nil {
-					return nil, fmt.Errorf("relation: row %d column %q: %w", i+1, header[c], err)
-				}
-				v, err := attrs[c].Bin(x)
-				if err != nil {
-					return nil, fmt.Errorf("relation: row %d column %q: %w", i+1, header[c], err)
-				}
-				tuple[c] = v
-			} else {
-				v, err := attrs[c].EncodeLabel(field)
-				if err != nil {
-					return nil, fmt.Errorf("relation: row %d column %q: %w", i+1, header[c], err)
-				}
-				tuple[c] = v
-			}
+		if _, err := EncodeRecord(sch, rec, tuple); err != nil {
+			return nil, fmt.Errorf("relation: row %d: %w", i+1, err)
 		}
 		if err := rel.Append(tuple); err != nil {
 			return nil, fmt.Errorf("relation: row %d: %w", i+1, err)
 		}
 	}
 	return rel, nil
+}
+
+// EncodeRecord encodes one raw textual record against a schema: binned
+// attributes parse as floats (strictly — no whitespace trimming, matching
+// LoadCSV's inference) and are bucketized, categorical attributes are
+// matched by label. The encoded tuple is written into dst when it has the
+// right length (allocated otherwise) and returned. It is the single
+// field-encoding path shared by offline CSV loading and live CSV
+// ingestion, so the two cannot drift.
+func EncodeRecord(sch *schema.Schema, record []string, dst []int) ([]int, error) {
+	if len(record) != sch.NumAttrs() {
+		return nil, fmt.Errorf("record has %d fields, schema has %d attributes", len(record), sch.NumAttrs())
+	}
+	if len(dst) != sch.NumAttrs() {
+		dst = make([]int, sch.NumAttrs())
+	}
+	for c, field := range record {
+		attr := sch.Attr(c)
+		switch attr.Kind() {
+		case schema.Binned:
+			x, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", attr.Name(), err)
+			}
+			v, err := attr.Bin(x)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", attr.Name(), err)
+			}
+			dst[c] = v
+		default:
+			v, err := attr.EncodeLabel(field)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", attr.Name(), err)
+			}
+			dst[c] = v
+		}
+	}
+	return dst, nil
 }
 
 // inferColumn decides whether column c is numeric (→ Binned) or

@@ -1,0 +1,187 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestLoadCSVSchemaInferenceEdgeCases is the table-driven edge-case suite
+// for the inference rules: empty inputs, all-null (empty-string) columns,
+// and mixed int/float promotion.
+func TestLoadCSVSchemaInferenceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		opts    CSVOptions
+		wantErr bool
+		check   func(t *testing.T, rel *Relation)
+	}{
+		{
+			name:    "empty file",
+			in:      "",
+			opts:    CSVOptions{},
+			wantErr: true,
+		},
+		{
+			name:    "empty file no header",
+			in:      "",
+			opts:    CSVOptions{NoHeader: true},
+			wantErr: true,
+		},
+		{
+			name:    "header only",
+			in:      "a,b\n",
+			opts:    CSVOptions{},
+			wantErr: true,
+		},
+		{
+			name: "all-null column becomes single-label categorical",
+			in:   "a,b\n,1\n,2\n,3\n",
+			opts: CSVOptions{Bins: 4},
+			check: func(t *testing.T, rel *Relation) {
+				a := rel.Schema().Attr(0)
+				if a.Kind() != schema.Categorical || a.Size() != 1 {
+					t.Fatalf("all-null column: kind=%v size=%d, want categorical/1", a.Kind(), a.Size())
+				}
+				if a.Label(0) != "" {
+					t.Fatalf("all-null column label %q, want empty", a.Label(0))
+				}
+				for i := 0; i < rel.NumRows(); i++ {
+					if rel.Value(i, 0) != 0 {
+						t.Fatalf("row %d of all-null column encoded as %d", i, rel.Value(i, 0))
+					}
+				}
+			},
+		},
+		{
+			name: "null among numbers demotes to categorical",
+			in:   "a,b\n1,x\n,y\n3,z\n",
+			opts: CSVOptions{},
+			check: func(t *testing.T, rel *Relation) {
+				a := rel.Schema().Attr(0)
+				if a.Kind() != schema.Categorical || a.Size() != 3 {
+					t.Fatalf("mixed null/number column: kind=%v size=%d, want categorical/3", a.Kind(), a.Size())
+				}
+			},
+		},
+		{
+			// encoding/csv skips fully blank lines, so a "column of empty
+			// lines" is not data at all — only quoted or delimited empty
+			// fields survive parsing.
+			name:    "blank lines are skipped, not null rows",
+			in:      "a\n\n\n",
+			opts:    CSVOptions{},
+			wantErr: true,
+		},
+		{
+			name: "mixed int and float promotes to binned",
+			in:   "x\n1\n2.5\n7\n10\n",
+			opts: CSVOptions{Bins: 3},
+			check: func(t *testing.T, rel *Relation) {
+				a := rel.Schema().Attr(0)
+				if a.Kind() != schema.Binned || a.Size() != 3 {
+					t.Fatalf("mixed int/float column: kind=%v size=%d, want binned/3", a.Kind(), a.Size())
+				}
+				lo, hi := a.Bounds()
+				if lo != 1 || hi != 10 {
+					t.Fatalf("bounds [%g,%g), want [1,10)", lo, hi)
+				}
+				// 1 → first bucket, 2.5 → first bucket ([1,4)), 7 → bucket 2
+				// ([7,10) boundary), 10 → clamped into the last bucket.
+				want := []int{0, 0, 2, 2}
+				for i, w := range want {
+					if got := rel.Value(i, 0); got != w {
+						t.Fatalf("row %d binned to %d, want %d", i, got, w)
+					}
+				}
+			},
+		},
+		{
+			name: "scientific notation and signs stay numeric",
+			in:   "x\n-1e2\n+3.5\n0\n",
+			opts: CSVOptions{Bins: 2},
+			check: func(t *testing.T, rel *Relation) {
+				a := rel.Schema().Attr(0)
+				if a.Kind() != schema.Binned {
+					t.Fatalf("kind %v, want binned", a.Kind())
+				}
+				lo, hi := a.Bounds()
+				if lo != -100 || hi != 3.5 {
+					t.Fatalf("bounds [%g,%g), want [-100,3.5)", lo, hi)
+				}
+			},
+		},
+		{
+			name: "numeric-looking strings mixed with words stay categorical",
+			in:   "x\n1\ntwo\n3\n",
+			opts: CSVOptions{},
+			check: func(t *testing.T, rel *Relation) {
+				a := rel.Schema().Attr(0)
+				if a.Kind() != schema.Categorical || a.Size() != 3 {
+					t.Fatalf("kind=%v size=%d, want categorical/3", a.Kind(), a.Size())
+				}
+			},
+		},
+		{
+			name: "single quoted-empty cell",
+			in:   "a\n\"\"\n",
+			opts: CSVOptions{},
+			check: func(t *testing.T, rel *Relation) {
+				if rel.NumRows() != 1 || rel.Schema().Attr(0).Size() != 1 {
+					t.Fatalf("rows=%d size=%d, want 1/1", rel.NumRows(), rel.Schema().Attr(0).Size())
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rel, err := LoadCSV(strings.NewReader(tc.in), tc.opts)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("LoadCSV accepted %s", tc.name)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, rel)
+		})
+	}
+}
+
+// FuzzLoadCSV feeds arbitrary bytes through the loader: it must never
+// panic, and any successfully loaded relation must satisfy the encoding
+// invariants (every value inside its attribute's domain).
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("a,b\nx,1\ny,2\n", false, 4)
+	f.Add("", true, 1)
+	f.Add("1,2\n3,4\n", true, 16)
+	f.Add("a\n\n\n", false, 2)
+	f.Add("x\n1\n2.5\nNaN\n", true, 8)
+	f.Add("\"q\"\"uoted\",v\n1,2\n", false, 3)
+	f.Fuzz(func(t *testing.T, in string, noHeader bool, bins int) {
+		rel, err := LoadCSV(strings.NewReader(in), CSVOptions{
+			NoHeader:      noHeader,
+			Bins:          bins,
+			MaxCategories: 64,
+		})
+		if err != nil {
+			return
+		}
+		if rel.NumRows() == 0 {
+			t.Fatal("LoadCSV returned an empty relation without error")
+		}
+		sch := rel.Schema()
+		for i := 0; i < rel.NumRows(); i++ {
+			for a := 0; a < rel.NumAttrs(); a++ {
+				v := rel.Value(i, a)
+				if v < 0 || v >= sch.Attr(a).Size() {
+					t.Fatalf("row %d attr %d: value %d outside domain [0,%d)", i, a, v, sch.Attr(a).Size())
+				}
+			}
+		}
+	})
+}

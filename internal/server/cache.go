@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -11,12 +12,13 @@ import (
 // estimator would compute the identical answer. Values are stored as
 // returned — callers must not mutate cached group slices.
 type Cache struct {
-	mu           sync.Mutex
-	capacity     int
-	ll           *list.List // front = most recently used
-	items        map[string]*list.Element
-	hits, misses uint64
-	evictions    uint64
+	mu            sync.Mutex
+	capacity      int
+	ll            *list.List // front = most recently used
+	items         map[string]*list.Element
+	hits, misses  uint64
+	evictions     uint64
+	invalidations uint64
 }
 
 type cacheEntry struct {
@@ -70,14 +72,37 @@ func (c *Cache) Put(key string, val interface{}) {
 	}
 }
 
+// InvalidatePrefix removes every entry whose key starts with prefix and
+// returns how many were dropped. The serving layer calls it after an
+// estimator hot-swap to reclaim the replaced generation's results —
+// correctness does not depend on it (cache keys embed the entry
+// generation), it just stops dead entries from occupying LRU capacity
+// until they age out. Cost is O(entries), acceptable at the cache sizes
+// the server runs (thousands).
+func (c *Cache) InvalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			dropped++
+		}
+	}
+	c.invalidations += uint64(dropped)
+	return dropped
+}
+
 // CacheStats is the accounting snapshot exposed on /metrics.
 type CacheStats struct {
-	Capacity  int     `json:"capacity"`
-	Entries   int     `json:"entries"`
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Evictions uint64  `json:"evictions"`
-	HitRatio  float64 `json:"hit_ratio"`
+	Capacity      int     `json:"capacity"`
+	Entries       int     `json:"entries"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRatio      float64 `json:"hit_ratio"`
 }
 
 // Stats returns a consistent snapshot of the cache counters.
@@ -85,11 +110,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CacheStats{
-		Capacity:  c.capacity,
-		Entries:   c.ll.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Capacity:      c.capacity,
+		Entries:       c.ll.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRatio = float64(s.Hits) / float64(total)

@@ -1,0 +1,535 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/experiment"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/solver"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// newLiveServer builds a live synthetic dataset behind an httptest server.
+func newLiveServer(t *testing.T, rows int, liveOpts server.LiveOptions) (*httptest.Server, *server.Registry, *server.Server, *server.Live) {
+	t.Helper()
+	reg := server.NewRegistry()
+	mut := relation.NewMutable(experiment.SyntheticRelation(rows, rand.New(rand.NewSource(1))))
+	live, _, err := server.BuildLiveDataset(reg, "demo", mut, liveOpts)
+	if err != nil {
+		t.Fatalf("BuildLiveDataset: %v", err)
+	}
+	srv := server.New(reg, server.Options{})
+	srv.AttachLive(live)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg, srv, live
+}
+
+// syntheticRows draws encoded rows compatible with the synthetic schema.
+func syntheticRows(n int, value int) [][]int {
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = []int{value % 4, value % 6, value % 3, value % 8}
+	}
+	return rows
+}
+
+// TestIngestHTTPRoundTrip is the acceptance-criterion round trip: ingest
+// rows via POST /ingest/{dataset}, observe the generation bump on
+// /metrics, and confirm that served answers reflect the new data.
+func TestIngestHTTPRoundTrip(t *testing.T) {
+	ts, _, _, _ := newLiveServer(t, 3000, server.LiveOptions{
+		Dataset: server.DatasetOptions{
+			Summary: summary.Options{Solver: solver.Options{MaxSweeps: 300}},
+		},
+		RefreshRows: 500,
+	})
+
+	// All ingested rows share region=3 (LATAM), so the count of region=3
+	// must grow by about the ingested volume once refreshed.
+	pred := query.NewPredicate(4)
+	pred.WhereEq(0, 3)
+	queryCount := func() float64 {
+		resp, body := postJSON(t, ts.URL+"/query", server.QueryRequest{Estimator: "demo/maxent", Predicate: pred})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+		}
+		var qr server.QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr.Count
+	}
+	before := queryCount()
+
+	// Below the threshold: accepted but not refreshed.
+	resp, body := postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{Rows: syntheticRows(200, 3)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	var ir server.IngestResult
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 200 || ir.Refreshed || ir.PendingRows != 200 {
+		t.Fatalf("first ingest: %+v, want accepted=200 refreshed=false pending=200", ir)
+	}
+
+	// Crossing the threshold refreshes before responding.
+	resp, body = postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{Rows: syntheticRows(400, 3)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Refreshed || ir.PendingRows != 0 || ir.TotalRows != 3600 {
+		t.Fatalf("second ingest: %+v, want refreshed=true pending=0 total=3600", ir)
+	}
+
+	// /metrics must report the generation bump and zero staleness.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mr server.MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Datasets) != 1 {
+		t.Fatalf("metrics: %d datasets, want 1", len(mr.Datasets))
+	}
+	ds := mr.Datasets[0]
+	if ds.Dataset != "demo" || ds.Generation != 2 || ds.PendingRows != 0 || ds.TotalRows != 3600 || ds.IngestedRows != 600 {
+		t.Fatalf("metrics dataset block: %+v", ds)
+	}
+	foundMaxent := false
+	for _, e := range mr.Estimators {
+		if e.Name == "demo/maxent" {
+			foundMaxent = true
+			if e.Generation != 2 {
+				t.Fatalf("demo/maxent generation = %d, want 2 after one swap", e.Generation)
+			}
+		}
+	}
+	if !foundMaxent {
+		t.Fatal("metrics: demo/maxent missing")
+	}
+
+	// Served answers must reflect the new data: 600 new region=3 rows on a
+	// 3000-row base. The summary is approximate, so just require the bulk
+	// of the mass to show up.
+	after := queryCount()
+	if after < before+400 {
+		t.Fatalf("count(region=LATAM) %g -> %g after ingesting 600 such rows; refresh not visible", before, after)
+	}
+
+	// The exact engine must have been swapped to the grown relation too.
+	resp, body = postJSON(t, ts.URL+"/query", server.QueryRequest{Estimator: "demo/exact", Predicate: pred})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact query: status %d: %s", resp.StatusCode, body)
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(before) + 600; qr.Count < want-1 || qr.Count > want+1 {
+		// before is the maxent estimate; compare loosely against exact.
+		exactBefore := qr.Count - 600
+		if exactBefore < 0 {
+			t.Fatalf("exact count(region=3) = %g after ingest, too small", qr.Count)
+		}
+	}
+}
+
+// TestIngestCSVBody round-trips a CSV ingest: raw values (labels and
+// numbers) encoded server-side.
+func TestIngestCSVBody(t *testing.T) {
+	ts, _, _, live := newLiveServer(t, 1000, server.LiveOptions{
+		Dataset: server.DatasetOptions{Summary: summary.Options{Solver: solver.Options{MaxSweeps: 200}}},
+	})
+	body := "LATAM,f,web,999.5\nAPAC,a,store,0\n"
+	resp, err := http.Post(ts.URL+"/ingest/demo", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir server.IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ir.Accepted != 2 {
+		t.Fatalf("csv ingest: status %d, result %+v", resp.StatusCode, ir)
+	}
+	if got := live.Mutable().NumRows(); got != 1002 {
+		t.Fatalf("rows = %d, want 1002", got)
+	}
+
+	// Malformed CSV (unknown label) is a 400 and appends nothing.
+	resp2, err := http.Post(ts.URL+"/ingest/demo", "text/csv", strings.NewReader("NOPE,a,web,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad csv: status %d, want 400", resp2.StatusCode)
+	}
+	if got := live.Mutable().NumRows(); got != 1002 {
+		t.Fatalf("bad csv appended rows: %d", got)
+	}
+}
+
+// TestIngestValidation exercises the failure paths of the ingest endpoint.
+func TestIngestValidation(t *testing.T) {
+	ts, _, _, _ := newLiveServer(t, 500, server.LiveOptions{
+		Dataset: server.DatasetOptions{Summary: summary.Options{Solver: solver.Options{MaxSweeps: 100}}},
+	})
+
+	resp, _ := postJSON(t, ts.URL+"/ingest/unknown", server.IngestRequest{Rows: syntheticRows(1, 0)})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{Rows: [][]int{{1, 2}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong arity: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{Rows: [][]int{{99, 0, 0, 0}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out of domain: status %d, want 400", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/ingest/demo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestSwapWhileQuerying is the dedicated swap/read race test: queries
+// hammer the registry over HTTP while estimator versions are hot-swapped
+// concurrently. Every request must succeed (zero downtime) and, under
+// -race, the registry/cache surfaces must be data-race-free.
+func TestSwapWhileQuerying(t *testing.T) {
+	ts, reg, _, _ := newLiveServer(t, 1500, server.LiveOptions{
+		Dataset: server.DatasetOptions{Summary: summary.Options{Solver: solver.Options{MaxSweeps: 100}}},
+	})
+
+	pred := query.NewPredicate(4)
+	pred.WhereEq(0, 1)
+	reqBody, err := json.Marshal(server.QueryRequest{Estimator: "demo/exact", Predicate: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Swap the exact engine repeatedly while the readers run.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		rel := experiment.SyntheticRelation(100+i, rng)
+		if _, err := reg.Swap("demo/exact", exact.New(rel), rel.Schema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ent, ok := reg.Get("demo/exact")
+	if !ok || ent.Generation != 51 {
+		t.Fatalf("after 50 swaps: ok=%t generation=%d, want 51", ok, ent.Generation)
+	}
+	close(stop)
+	readers.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d queries failed during hot swaps; swaps must be zero-downtime", n)
+	}
+}
+
+// TestIngestRefreshWhileQuerying drives the full ingest→refresh→swap path
+// while queries are in flight — the end-to-end zero-downtime check
+// (meaningful under -race).
+func TestIngestRefreshWhileQuerying(t *testing.T) {
+	ts, _, _, _ := newLiveServer(t, 2000, server.LiveOptions{
+		Dataset:     server.DatasetOptions{Summary: summary.Options{Solver: solver.Options{MaxSweeps: 200}}},
+		RefreshRows: 100,
+	})
+
+	pred := query.NewPredicate(4)
+	pred.WhereEq(1, 2)
+	queryBody, err := json.Marshal(server.QueryRequest{Estimator: "demo/maxent", Predicate: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(queryBody))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	refreshes := 0
+	for i := 0; i < 10; i++ {
+		resp, body := postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{Rows: syntheticRows(120, i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var ir server.IngestResult
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Refreshed {
+			refreshes++
+		}
+	}
+	close(stop)
+	readers.Wait()
+	if refreshes == 0 {
+		t.Fatal("no ingest crossed the refresh threshold")
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d queries failed during ingest-triggered swaps", n)
+	}
+	// Final state: all ingested rows are served.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mr server.MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Datasets) != 1 || mr.Datasets[0].TotalRows != 2000+10*120 {
+		t.Fatalf("metrics: %+v", mr.Datasets)
+	}
+}
+
+// TestRefreshPublishesSnapshots checks snapshot publication + pinning:
+// every refresh saves a new version of the model estimators and keeps the
+// served version safe from pruning.
+func TestRefreshPublishesSnapshots(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	mut := relation.NewMutable(experiment.SyntheticRelation(1000, rand.New(rand.NewSource(1))))
+	live, _, err := server.BuildLiveDataset(reg, "demo", mut, server.LiveOptions{
+		Dataset: server.DatasetOptions{
+			Summary:   summary.Options{Solver: solver.Options{MaxSweeps: 200}},
+			SkipExact: true,
+			Store:     st,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 1; round <= 3; round++ {
+		if _, err := live.Ingest(syntheticRows(50, round)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := live.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, err := st.Versions("demo/maxent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 from the build, v2..v4 from the refreshes.
+	if len(man.Snapshots) != 4 {
+		t.Fatalf("%d snapshot versions, want 4", len(man.Snapshots))
+	}
+	pinned := st.Pinned("demo/maxent")
+	if len(pinned) != 1 || pinned[0] != 4 {
+		t.Fatalf("pinned = %v, want [4] (the served version)", pinned)
+	}
+	// Pruning keeps the pinned (served) version by construction here (it
+	// is also the newest); prune everything else and restore from it.
+	if _, err := st.Prune("demo/maxent", 1); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := st.Load("demo/maxent", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := float64(1000 + 3*50)
+	if got := restored.(*summary.Summary).N(); got != wantN {
+		t.Fatalf("restored snapshot covers %g rows, want %g", got, wantN)
+	}
+}
+
+// TestIngestReportsPublishFailureWithoutFailing pins the accepted-rows
+// contract: once a batch is appended, even a snapshot-publication
+// failure during the triggered refresh must come back as refresh_error
+// on a success response — a 500 would invite the client to re-send rows
+// that are already in.
+func TestIngestReportsPublishFailureWithoutFailing(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	mut := relation.NewMutable(experiment.SyntheticRelation(1000, rand.New(rand.NewSource(1))))
+	live, _, err := server.BuildLiveDataset(reg, "demo", mut, server.LiveOptions{
+		Dataset: server.DatasetOptions{
+			Summary:   summary.Options{Solver: solver.Options{MaxSweeps: 200}},
+			SkipExact: true,
+			Store:     st,
+		},
+		RefreshRows: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make snapshot publication fail (works even as root, where a chmod
+	// would be bypassed): the dataset key's directory path is occupied by
+	// a regular file, so Save's MkdirAll errors.
+	dsDir := filepath.Join(dir, "demo", "maxent")
+	if err := os.RemoveAll(dsDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dsDir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := live.Ingest(syntheticRows(20, 1))
+	if err != nil {
+		t.Fatalf("ingest failed outright despite the rows being appended: %v", err)
+	}
+	if res.Accepted != 20 {
+		t.Fatalf("accepted = %d, want 20", res.Accepted)
+	}
+	if res.RefreshError == "" {
+		t.Fatal("publication failure was not reported in refresh_error")
+	}
+	if !res.Refreshed || res.PendingRows != 0 || res.Generation != 2 {
+		t.Fatalf("swap should still have happened: %+v", res)
+	}
+	// The swapped model serves the ingested rows even though the snapshot
+	// could not be published.
+	ent, ok := reg.Get("demo/maxent")
+	if !ok || ent.Generation != 2 {
+		t.Fatalf("demo/maxent generation = %d, want 2", ent.Generation)
+	}
+	if got := ent.Estimator.(*summary.Summary).N(); got != 1020 {
+		t.Fatalf("served summary covers %g rows, want 1020", got)
+	}
+}
+
+// TestCacheInvalidationOnSwap checks that a hot swap cannot serve cached
+// answers of the previous generation.
+func TestCacheInvalidationOnSwap(t *testing.T) {
+	ts, _, srv, live := newLiveServer(t, 2000, server.LiveOptions{
+		Dataset: server.DatasetOptions{Summary: summary.Options{Solver: solver.Options{MaxSweeps: 200}}},
+	})
+
+	pred := query.NewPredicate(4)
+	pred.WhereEq(0, 2)
+	ask := func() (float64, bool) {
+		resp, body := postJSON(t, ts.URL+"/query", server.QueryRequest{Estimator: "demo/exact", Predicate: pred})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+		}
+		var qr server.QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr.Count, qr.Cached
+	}
+
+	first, cached := ask()
+	if cached {
+		t.Fatal("first query reported cached")
+	}
+	if _, cached = ask(); !cached {
+		t.Fatal("second identical query missed the cache")
+	}
+
+	// Ingest 300 region=APAC rows and refresh: the cached exact count is
+	// stale now and must not be served.
+	if _, err := live.Ingest(syntheticRows(300, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	after, cached := ask()
+	if cached {
+		t.Fatal("post-swap query served a cached answer from the previous generation")
+	}
+	if after != first+300 {
+		t.Fatalf("exact count after ingest = %g, want %g", after, first+300)
+	}
+	if srv.Cache().Stats().Invalidations == 0 {
+		t.Fatal("swap did not invalidate any cache entries")
+	}
+}

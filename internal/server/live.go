@@ -1,0 +1,479 @@
+package server
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/relation"
+	"repro/internal/sampling"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// LiveOptions configure live ingestion for one dataset.
+type LiveOptions struct {
+	// Dataset are the build options the dataset's estimators were (or will
+	// be) built with; refreshes maintain exactly the strategy set these
+	// options produced.
+	Dataset DatasetOptions
+	// RefreshRows is the auto-refresh threshold: when at least this many
+	// rows are pending after an ingest, the ingest triggers a refresh
+	// before returning (0 disables threshold-based refreshing; Refresh can
+	// still be called explicitly, e.g. from an interval ticker).
+	RefreshRows int
+	// DriftThreshold is passed to summary.Refresh (0 selects its default).
+	DriftThreshold float64
+}
+
+// Live couples one dataset's mutable relation with the registry entries
+// serving it: appends accumulate in the relation, and Refresh folds them
+// into every registered estimator of the dataset with an atomic hot swap —
+// queries keep flowing against the previous versions until the new ones
+// are ready, then switch all at once.
+type Live struct {
+	dataset string
+	reg     *Registry
+	st      *store.Store
+	opts    LiveOptions
+	mut     *relation.Mutable
+	now     func() time.Time
+
+	// refreshMu serializes refreshes (the expensive build+swap+publish
+	// sequence) without blocking the cheap paths: counters and Status()
+	// are guarded by mu alone, so /metrics and ingest responses never
+	// wait behind a solve. pinned is touched only by refresh paths, so
+	// refreshMu guards it too.
+	refreshMu sync.Mutex
+	pinned    map[string]int // store key → version pinned for serving
+
+	mu           sync.Mutex
+	cache        *Cache // set by Server.AttachLive; nil until then
+	servedRows   int
+	generation   uint64
+	ingestedRows uint64
+	ingests      uint64
+	refreshes    uint64
+	rebuilds     uint64
+	lastRefresh  time.Time
+}
+
+// NewLive wires live ingestion over a dataset whose estimators are
+// already registered (either by BuildDataset or by a snapshot restore).
+// The mutable relation must hold exactly the rows the registered MaxEnt
+// summary covers; st may be nil (no snapshot publication).
+func NewLive(reg *Registry, dataset string, mut *relation.Mutable, st *store.Store, opts LiveOptions) (*Live, error) {
+	if dataset == "" {
+		return nil, errors.New("server: live dataset name must not be empty")
+	}
+	ent, ok := reg.Get(dataset + "/maxent")
+	if !ok {
+		return nil, fmt.Errorf("server: live dataset %q: no %q registered", dataset, dataset+"/maxent")
+	}
+	sum, ok := ent.Estimator.(*summary.Summary)
+	if !ok {
+		return nil, fmt.Errorf("server: live dataset %q: %q is a %T, want a refreshable summary",
+			dataset, ent.Name, ent.Estimator)
+	}
+	if got, want := mut.NumRows(), int(sum.N()); got != want {
+		return nil, fmt.Errorf("server: live dataset %q: relation has %d rows, served summary covers %d",
+			dataset, got, want)
+	}
+	// Row count alone cannot tell a regenerated relation from the one the
+	// summary was built over (e.g. same -rows, different -seed on a
+	// snapshot restart). The complete 1D statistic families are an exact
+	// content fingerprint of the per-attribute histograms — compare them,
+	// so a refresh can never silently fold deltas into a model of
+	// different base data.
+	frozen, _ := mut.Freeze()
+	set := sum.Stats()
+	if len(set.OneD) != frozen.NumAttrs() {
+		return nil, fmt.Errorf("server: live dataset %q: summary covers %d attributes, relation has %d",
+			dataset, len(set.OneD), frozen.NumAttrs())
+	}
+	for a := range set.OneD {
+		hist := frozen.Histogram1D(a)
+		if len(hist) != len(set.OneD[a]) {
+			return nil, fmt.Errorf("server: live dataset %q: attribute %d domain size %d vs summary's %d",
+				dataset, a, len(hist), len(set.OneD[a]))
+		}
+		for v, c := range hist {
+			if float64(c) != set.OneD[a][v] {
+				return nil, fmt.Errorf("server: live dataset %q: relation content differs from the served summary's statistics (attribute %d value %d: %d rows vs statistic %g)",
+					dataset, a, v, c, set.OneD[a][v])
+			}
+		}
+	}
+	l := &Live{
+		dataset:    dataset,
+		reg:        reg,
+		st:         st,
+		opts:       opts,
+		mut:        mut,
+		servedRows: mut.NumRows(),
+		generation: 1,
+		pinned:     make(map[string]int),
+		now:        time.Now,
+	}
+	// Pin whatever snapshot versions currently back the served entries, so
+	// a concurrent prune cannot delete the version a restart would need.
+	if st != nil {
+		for _, key := range []string{dataset + "/maxent", dataset + "/partitioned"} {
+			if man, err := st.Versions(key); err == nil {
+				if last, ok := man.Latest(); ok {
+					st.Pin(key, last.Version)
+					l.pinned[key] = last.Version
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+// BuildLiveDataset builds and registers the dataset's estimators over the
+// relation's current rows (see BuildDataset) and returns the Live handle
+// managing its ingestion lifecycle, plus the registered names.
+func BuildLiveDataset(reg *Registry, dataset string, mut *relation.Mutable, opts LiveOptions) (*Live, []string, error) {
+	frozen, _ := mut.Freeze()
+	names, err := BuildDataset(reg, dataset, frozen, opts.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	live, err := NewLive(reg, dataset, mut, opts.Dataset.Store, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return live, names, nil
+}
+
+// Dataset returns the dataset name.
+func (l *Live) Dataset() string { return l.dataset }
+
+// Mutable returns the live relation.
+func (l *Live) Mutable() *relation.Mutable { return l.mut }
+
+// attachCache hands the server's result cache to the live dataset so
+// refreshes can reclaim replaced entries.
+func (l *Live) attachCache(c *Cache) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cache = c
+}
+
+// IngestResult is the outcome of one ingest batch (the body of a
+// successful POST /ingest/{dataset}).
+type IngestResult struct {
+	Dataset     string `json:"dataset"`
+	Accepted    int    `json:"accepted"`
+	TotalRows   int    `json:"total_rows"`
+	PendingRows int    `json:"pending_rows"`
+	Generation  uint64 `json:"generation"`
+	// Refreshed reports whether this ingest crossed the refresh threshold
+	// and hot-swapped new estimator versions before returning.
+	Refreshed bool `json:"refreshed"`
+	// RefreshNS is the refresh duration when Refreshed is true.
+	RefreshNS int64 `json:"refresh_ns,omitempty"`
+	// RefreshError reports a failed (or partially failed, e.g. snapshot
+	// publication) threshold-triggered refresh. The append itself
+	// succeeded — the rows are in and will be folded in by the next
+	// refresh — so this is informational, not a request failure: clients
+	// must NOT retry the batch.
+	RefreshError string `json:"refresh_error,omitempty"`
+}
+
+// Ingest appends a batch of encoded rows (all-or-nothing) and, when the
+// pending backlog crosses the refresh threshold, refreshes the dataset's
+// estimators before returning. An error means nothing was appended;
+// conversely, once the rows are in, a refresh failure is reported in
+// IngestResult.RefreshError rather than as an error, so clients never
+// see a failure response for data that was actually accepted (a retry
+// would double-ingest it).
+func (l *Live) Ingest(rows [][]int) (IngestResult, error) {
+	if len(rows) == 0 {
+		return IngestResult{}, errors.New("server: ingest batch is empty")
+	}
+	if _, err := l.mut.AppendRows(rows); err != nil {
+		return IngestResult{}, err
+	}
+	l.mu.Lock()
+	l.ingestedRows += uint64(len(rows))
+	l.ingests++
+	res := IngestResult{
+		Dataset:     l.dataset,
+		Accepted:    len(rows),
+		TotalRows:   l.mut.NumRows(),
+		PendingRows: l.mut.NumRows() - l.servedRows,
+		Generation:  l.generation,
+	}
+	needRefresh := l.opts.RefreshRows > 0 && res.PendingRows >= l.opts.RefreshRows
+	l.mu.Unlock()
+
+	if needRefresh {
+		start := l.now()
+		out, err := l.Refresh()
+		if err != nil {
+			// The append already succeeded, so a refresh (or snapshot
+			// publication) failure is reported on the result, never as a
+			// request failure — a retry would double-ingest the batch.
+			res.RefreshError = err.Error()
+		}
+		// A concurrent ingest may have refreshed first, leaving this one
+		// nothing to fold in; only report a refresh that swapped versions
+		// in (which can be true even under a publication error).
+		if out.DeltaRows > 0 && len(out.Swapped) > 0 {
+			res.Refreshed = true
+			res.RefreshNS = l.now().Sub(start).Nanoseconds()
+		}
+		l.mu.Lock()
+		res.PendingRows = l.mut.NumRows() - l.servedRows
+		res.Generation = l.generation
+		l.mu.Unlock()
+	}
+	return res, nil
+}
+
+// RefreshOutcome reports one refresh.
+type RefreshOutcome struct {
+	Dataset    string   `json:"dataset"`
+	DeltaRows  int      `json:"delta_rows"`
+	Rebuilt    bool     `json:"rebuilt"`
+	Sweeps     int      `json:"sweeps"`
+	Generation uint64   `json:"generation"`
+	Swapped    []string `json:"swapped,omitempty"`
+}
+
+// Refresh folds all pending rows into new versions of every registered
+// estimator of the dataset and hot-swaps them in. With no pending rows it
+// is a cheap no-op. All new versions are built before any swap happens,
+// so the strategy set moves between consistent states even if a build
+// fails halfway. Refreshes are serialized among themselves but never
+// block ingest responses or Status/metrics reads.
+func (l *Live) Refresh() (RefreshOutcome, error) {
+	l.refreshMu.Lock()
+	defer l.refreshMu.Unlock()
+	return l.refresh()
+}
+
+// refresh runs one refresh; the caller holds refreshMu (which is what
+// makes the servedRows read-then-advance below safe — only refresh paths
+// move it).
+func (l *Live) refresh() (RefreshOutcome, error) {
+	l.mu.Lock()
+	served := l.servedRows
+	gen := l.generation
+	cache := l.cache
+	l.mu.Unlock()
+
+	full, _ := l.mut.Freeze()
+	pending := full.NumRows() - served
+	out := RefreshOutcome{Dataset: l.dataset, Generation: gen}
+	if pending <= 0 {
+		return out, nil
+	}
+	delta, err := full.Slice(served, full.NumRows())
+	if err != nil {
+		return out, err
+	}
+
+	maxentName := l.dataset + "/maxent"
+	ent, ok := l.reg.Get(maxentName)
+	if !ok {
+		return out, fmt.Errorf("server: refresh %q: no %q registered", l.dataset, maxentName)
+	}
+	sum, ok := ent.Estimator.(*summary.Summary)
+	if !ok {
+		return out, fmt.Errorf("server: refresh %q: %q is a %T, want a refreshable summary",
+			l.dataset, maxentName, ent.Estimator)
+	}
+
+	// Stage 1: build every replacement version. Nothing is swapped yet, so
+	// a failure here leaves serving untouched.
+	newSum, info, err := sum.Refresh(full, delta, summary.RefreshOptions{
+		DriftThreshold: l.opts.DriftThreshold,
+		Solver:         l.opts.Dataset.Summary.Solver,
+	})
+	if err != nil {
+		return out, fmt.Errorf("server: refresh %q: %w", l.dataset, err)
+	}
+	type swap struct {
+		name string
+		est  core.Estimator
+		sch  *schema.Schema
+		save bool // publish to the snapshot store after the swap
+	}
+	swaps := []swap{{maxentName, newSum, full.Schema(), true}}
+
+	if _, ok := l.reg.Get(l.dataset + "/exact"); ok {
+		swaps = append(swaps, swap{l.dataset + "/exact", exact.New(full), full.Schema(), false})
+	}
+	if _, ok := l.reg.Get(l.dataset + "/partitioned"); ok {
+		base := l.opts.Dataset.Summary
+		base.Solver.Workers = 1
+		psum, err := summary.BuildPartitioned(full, summary.PartitionedOptions{
+			Partitions: l.opts.Dataset.Partitions,
+			Base:       base,
+		})
+		if err != nil {
+			return out, fmt.Errorf("server: refresh %q: partitioned rebuild: %w", l.dataset, err)
+		}
+		swaps = append(swaps, swap{l.dataset + "/partitioned", psum, full.Schema(), true})
+	}
+	if _, ok := l.reg.Get(l.dataset + "/uniform"); ok {
+		// Fold the generation into the seed so successive refreshes draw
+		// fresh — but still reproducible — samples of the grown relation.
+		uni, err := sampling.UniformSeeded(full, l.opts.Dataset.SampleRate, l.opts.Dataset.SampleSeed+1+int64(gen)<<16)
+		if err != nil {
+			return out, fmt.Errorf("server: refresh %q: uniform resample: %w", l.dataset, err)
+		}
+		swaps = append(swaps, swap{l.dataset + "/uniform", uni, full.Schema(), false})
+	}
+	if _, ok := l.reg.Get(l.dataset + "/stratified"); ok {
+		strataAttrs := []int{0}
+		if pcs := newSum.ChosenPairs(); len(pcs) > 0 {
+			strataAttrs = []int{pcs[0].A1, pcs[0].A2}
+		} else if full.Schema().NumAttrs() > 1 {
+			strataAttrs = []int{0, 1}
+		}
+		strat, err := sampling.StratifiedSeeded(full, strataAttrs, l.opts.Dataset.SampleRate, 1, l.opts.Dataset.SampleSeed+2+int64(gen)<<16)
+		if err != nil {
+			return out, fmt.Errorf("server: refresh %q: stratified resample: %w", l.dataset, err)
+		}
+		swaps = append(swaps, swap{l.dataset + "/stratified", strat, full.Schema(), false})
+	}
+
+	// Stage 2: hot-swap every entry and drop the replaced generations'
+	// cached answers. Each individual swap is atomic; queries racing the
+	// loop see a consistent (name, estimator, generation) triple per entry.
+	for _, sw := range swaps {
+		if _, err := l.reg.Swap(sw.name, sw.est, sw.sch); err != nil {
+			return out, err
+		}
+		if cache != nil {
+			cache.InvalidatePrefix(sw.name + "\x00")
+		}
+		out.Swapped = append(out.Swapped, sw.name)
+	}
+
+	// Stage 3: publish the new model versions to the snapshot store and
+	// move the serving pins forward. Publication failures do not undo the
+	// swap — serving the fresh model matters more than persisting it — but
+	// they are reported so the operator knows the store is behind.
+	var publishErr error
+	if l.st != nil {
+		for _, sw := range swaps {
+			if !sw.save {
+				continue
+			}
+			sinfo, err := l.st.Save(sw.name, sw.est)
+			if err != nil {
+				publishErr = errors.Join(publishErr, fmt.Errorf("server: refresh %q: snapshot %q: %w", l.dataset, sw.name, err))
+				continue
+			}
+			if old, ok := l.pinned[sw.name]; ok {
+				l.st.Unpin(sw.name, old)
+			}
+			l.st.Pin(sw.name, sinfo.Version)
+			l.pinned[sw.name] = sinfo.Version
+		}
+	}
+
+	l.mu.Lock()
+	l.servedRows = full.NumRows()
+	l.generation++
+	l.refreshes++
+	if info.Rebuilt {
+		l.rebuilds++
+	}
+	l.lastRefresh = l.now()
+	out.Generation = l.generation
+	l.mu.Unlock()
+
+	out.DeltaRows = pending
+	out.Rebuilt = info.Rebuilt
+	out.Sweeps = info.Solver.Sweeps
+	return out, publishErr
+}
+
+// LiveStatus is the per-dataset ingestion/staleness block of /metrics.
+type LiveStatus struct {
+	Dataset      string `json:"dataset"`
+	Generation   uint64 `json:"generation"`
+	TotalRows    int    `json:"total_rows"`
+	ServedRows   int    `json:"served_rows"`
+	PendingRows  int    `json:"pending_rows"`
+	IngestedRows uint64 `json:"ingested_rows"`
+	Ingests      uint64 `json:"ingests"`
+	Refreshes    uint64 `json:"refreshes"`
+	Rebuilds     uint64 `json:"rebuilds"`
+	// LastRefreshUnixNS is 0 until the first refresh.
+	LastRefreshUnixNS int64 `json:"last_refresh_unix_ns"`
+}
+
+// Status returns the current ingestion counters. PendingRows is the
+// staleness measure: rows the served summaries have not seen yet.
+func (l *Live) Status() LiveStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LiveStatus{
+		Dataset:      l.dataset,
+		Generation:   l.generation,
+		TotalRows:    l.mut.NumRows(),
+		ServedRows:   l.servedRows,
+		IngestedRows: l.ingestedRows,
+		Ingests:      l.ingests,
+		Refreshes:    l.refreshes,
+		Rebuilds:     l.rebuilds,
+	}
+	st.PendingRows = st.TotalRows - st.ServedRows
+	if !l.lastRefresh.IsZero() {
+		st.LastRefreshUnixNS = l.lastRefresh.UnixNano()
+	}
+	return st
+}
+
+// --- row decoding ------------------------------------------------------
+
+// DecodeJSONRows validates a batch of already-encoded rows against the
+// schema shape (AppendRows re-validates domains; this is just the
+// fail-fast arity check for clean 400s).
+func DecodeJSONRows(sch *schema.Schema, rows [][]int) error {
+	for i, row := range rows {
+		if len(row) != sch.NumAttrs() {
+			return fmt.Errorf("row %d has %d values, schema has %d attributes", i, len(row), sch.NumAttrs())
+		}
+	}
+	return nil
+}
+
+// DecodeCSVRows reads raw CSV rows (no header) and encodes them against
+// the schema via relation.EncodeRecord — the same field-encoding path
+// offline CSV loading uses, so live and batch ingestion cannot drift.
+func DecodeCSVRows(sch *schema.Schema, r io.Reader) ([][]int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var rows [][]int
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csv row %d: %v", line, err)
+		}
+		tuple, err := relation.EncodeRecord(sch, rec, nil)
+		if err != nil {
+			return nil, fmt.Errorf("csv row %d: %v", line, err)
+		}
+		rows = append(rows, tuple)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("csv body holds no rows")
+	}
+	return rows, nil
+}

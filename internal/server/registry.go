@@ -24,12 +24,19 @@ type Entry struct {
 	Name      string
 	Estimator core.Estimator
 	Schema    *schema.Schema
+	// Generation counts the versions served under this name: 1 at first
+	// registration, +1 per Swap. It flows into cache keys (so a swap can
+	// never serve a previous generation's cached answers) and into the
+	// /metrics staleness report.
+	Generation uint64
 }
 
-// Registry is a concurrent-safe map of named estimators. Registration and
-// lookup may interleave freely with request handling; the estimators
-// themselves are read-only after registration (the core.Estimator
-// contract).
+// Registry is a concurrent-safe map of named estimators. Registration,
+// swapping, and lookup may interleave freely with request handling; the
+// estimators themselves are read-only after registration (the
+// core.Estimator contract), so replacing one is a pure pointer swap —
+// in-flight queries finish on the version they looked up, new queries see
+// the new one.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]Entry
@@ -54,8 +61,29 @@ func (r *Registry) Register(name string, est core.Estimator, sch *schema.Schema)
 	if _, dup := r.entries[name]; dup {
 		return fmt.Errorf("server: estimator %q already registered", name)
 	}
-	r.entries[name] = Entry{Name: name, Estimator: est, Schema: sch}
+	r.entries[name] = Entry{Name: name, Estimator: est, Schema: sch, Generation: 1}
 	return nil
+}
+
+// Swap atomically replaces the estimator served under name with a new
+// version, bumping the entry's generation, and returns the updated entry.
+// The previous estimator keeps answering any queries that already looked
+// it up — zero downtime — and becomes garbage once they drain. Swapping a
+// name that was never registered is an error: a refresh must not
+// accidentally invent serving entries.
+func (r *Registry) Swap(name string, est core.Estimator, sch *schema.Schema) (Entry, error) {
+	if est == nil || sch == nil {
+		return Entry{}, fmt.Errorf("server: swap %q needs a non-nil estimator and schema", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("server: swap %q: estimator not registered", name)
+	}
+	next := Entry{Name: name, Estimator: est, Schema: sch, Generation: old.Generation + 1}
+	r.entries[name] = next
+	return next, nil
 }
 
 // Unregister removes a named estimator and reports whether it was

@@ -6,6 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -63,6 +66,9 @@ type Server struct {
 	sem     chan struct{}
 	opts    Options
 	mux     *http.ServeMux
+
+	livesMu sync.RWMutex
+	lives   map[string]*Live
 }
 
 // New builds a server over the registry. Estimators may keep being
@@ -75,6 +81,7 @@ func New(reg *Registry, opts Options) *Server {
 		metrics: NewMetrics(opts.Now()),
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		opts:    opts,
+		lives:   make(map[string]*Live),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -84,7 +91,43 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/snapshots", s.handleSnapshotList)
 	s.mux.HandleFunc("/snapshots/", s.handleSnapshotSave)
+	s.mux.HandleFunc("/ingest/", s.handleIngest)
 	return s
+}
+
+// AttachLive enables POST /ingest/{dataset} for a live dataset and hands
+// it the server's result cache so refreshes reclaim replaced entries.
+// Attaching may happen before or after serving starts.
+func (s *Server) AttachLive(l *Live) {
+	l.attachCache(s.cache)
+	s.livesMu.Lock()
+	s.lives[l.Dataset()] = l
+	s.livesMu.Unlock()
+}
+
+// live looks up an attached live dataset.
+func (s *Server) live(dataset string) (*Live, bool) {
+	s.livesMu.RLock()
+	defer s.livesMu.RUnlock()
+	l, ok := s.lives[dataset]
+	return l, ok
+}
+
+// liveStatuses returns the status of every attached live dataset, sorted
+// by name.
+func (s *Server) liveStatuses() []LiveStatus {
+	s.livesMu.RLock()
+	lives := make([]*Live, 0, len(s.lives))
+	for _, l := range s.lives {
+		lives = append(lives, l)
+	}
+	s.livesMu.RUnlock()
+	out := make([]LiveStatus, 0, len(lives))
+	for _, l := range lives {
+		out = append(out, l.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
 }
 
 // Handler returns the HTTP handler serving all summaryd endpoints.
@@ -140,6 +183,9 @@ type EstimatorInfo struct {
 	NumAttrs    int      `json:"num_attrs"`
 	AttrNames   []string `json:"attr_names"`
 	DomainSizes []int    `json:"domain_sizes"`
+	// Generation counts the hot-swapped versions served under this name
+	// (1 = the initial build or restore).
+	Generation uint64 `json:"generation"`
 }
 
 // EstimatorsResponse is the body of GET /estimators.
@@ -147,11 +193,24 @@ type EstimatorsResponse struct {
 	Estimators []EstimatorInfo `json:"estimators"`
 }
 
+// IngestRequest is the JSON body of POST /ingest/{dataset}: a batch of
+// already-encoded rows (domain value indexes, schema order). CSV bodies
+// (Content-Type: text/csv) carry raw values instead — labels for
+// categorical attributes, numbers for binned ones — and are encoded
+// server-side.
+type IngestRequest struct {
+	Rows [][]int `json:"rows"`
+}
+
 // MetricsResponse is the body of GET /metrics.
 type MetricsResponse struct {
 	MetricsSnapshot
 	Cache      CacheStats      `json:"cache"`
 	Estimators []EstimatorInfo `json:"estimators"`
+	// Datasets reports per-dataset ingestion state (generation, pending
+	// rows = staleness) for every live dataset; empty when ingestion is
+	// not enabled.
+	Datasets []LiveStatus `json:"datasets,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -260,7 +319,86 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MetricsSnapshot: s.metrics.Snapshot(s.opts.Now()),
 		Cache:           s.cache.Stats(),
 		Estimators:      s.estimatorInfos(),
+		Datasets:        s.liveStatuses(),
 	})
+}
+
+// handleIngest serves POST /ingest/{dataset}: it appends a batch of rows
+// to the dataset's live relation and, when the refresh threshold is
+// crossed, hot-swaps refreshed estimators before responding. The append
+// and refresh run on the same bounded worker pool as query evaluation,
+// under the per-request timeout, so an ingest burst cannot hold
+// unbounded goroutines: excess requests queue for a slot (503 on
+// admission timeout) and a straggling refresh is abandoned with a 504
+// (it still completes server-side; the response is what gives up).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	failed := false
+	defer func() { s.metrics.Record(s.opts.Now().Sub(start), failed) }()
+	fail := func(status int, msg string) {
+		failed = true
+		writeJSON(w, status, errorResponse{Error: msg})
+	}
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	dataset := strings.TrimPrefix(r.URL.Path, "/ingest/")
+	if dataset == "" || strings.Contains(dataset, "/") {
+		fail(http.StatusBadRequest, "use POST /ingest/{dataset} with a single-segment dataset name")
+		return
+	}
+	live, ok := s.live(dataset)
+	if !ok {
+		fail(http.StatusNotFound, fmt.Sprintf("dataset %q does not accept ingestion (no live relation attached)", dataset))
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var rows [][]int
+	contentType := r.Header.Get("Content-Type")
+	if strings.HasPrefix(contentType, "text/csv") {
+		decoded, err := DecodeCSVRows(live.Mutable().Schema(), body)
+		if err != nil {
+			fail(http.StatusBadRequest, err.Error())
+			return
+		}
+		rows = decoded
+	} else {
+		var req IngestRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			fail(http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+			return
+		}
+		if err := DecodeJSONRows(live.Mutable().Schema(), req.Rows); err != nil {
+			fail(http.StatusBadRequest, err.Error())
+			return
+		}
+		rows = req.Rows
+	}
+	if len(rows) == 0 {
+		fail(http.StatusBadRequest, "ingest batch is empty")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	v, herr := s.execute(ctx, func() (interface{}, error) {
+		return live.Ingest(rows)
+	})
+	if herr != nil {
+		status := herr.status
+		if status == http.StatusUnprocessableEntity {
+			// An Ingest error always means nothing was appended (validation
+			// failed) — the client's fault, not the server's; refresh
+			// problems after a successful append arrive in refresh_error on
+			// a 200 instead, so clients never retry rows that landed.
+			status = http.StatusBadRequest
+		}
+		fail(status, herr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(IngestResult))
 }
 
 func (s *Server) estimatorInfos() []EstimatorInfo {
@@ -272,6 +410,7 @@ func (s *Server) estimatorInfos() []EstimatorInfo {
 			ApproxBytes: e.Estimator.ApproxBytes(),
 			NumAttrs:    e.Schema.NumAttrs(),
 			DomainSizes: e.Schema.DomainSizes(),
+			Generation:  e.Generation,
 		}
 		for i := 0; i < e.Schema.NumAttrs(); i++ {
 			info.AttrNames = append(info.AttrNames, e.Schema.Attr(i).Name())
@@ -335,7 +474,11 @@ func (s *Server) admitQuery(estimator, kind string, pred *query.Predicate, group
 		return Entry{}, "", badRequest("predicate has num_attrs=%d, estimator %q answers over %d attributes",
 			pred.NumAttrs(), estimator, numAttrs)
 	}
-	key := ent.Name + "\x00" + kind
+	// The entry generation is part of the key, so answers cached before a
+	// hot swap can never be served afterwards — even if an in-flight query
+	// of the old generation stores its result after the swap's explicit
+	// invalidation ran.
+	key := fmt.Sprintf("%s\x00v%d\x00%s", ent.Name, ent.Generation, kind)
 	if kind == "g" {
 		if len(groupBy) == 0 || len(groupBy) > 4 {
 			return Entry{}, "", badRequest("group_by needs 1..4 attributes, got %d", len(groupBy))

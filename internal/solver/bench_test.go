@@ -84,3 +84,57 @@ func BenchmarkSolve(b *testing.B) {
 		}
 	}
 }
+
+// warmBenchSetup solves a tuple-count-derived base instance to convergence
+// and returns everything needed to re-solve the appended variant (a
+// 10-row delta on 100k rows) either cold or warm-started from the base
+// solution — the refresh hot path.
+func warmBenchSetup(b *testing.B) (mk func() *polynomial.System, grown []Constraint, nGrown float64, prev *polynomial.System) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	mk, base, grown, nBase, nGrown := deltaInstance(rng, 100000, 10)
+	prev = mk()
+	rep, err := Solve(prev, base, Options{N: nBase, MaxSweeps: 500, Tolerance: 1e-6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !rep.Converged {
+		b.Fatalf("base solve did not converge: %v", rep)
+	}
+	return mk, grown, nGrown, prev
+}
+
+// BenchmarkSolveColdSmallDelta re-solves the appended instance from the
+// all-ones cold start — what a refresh would cost without warm-starting.
+func BenchmarkSolveColdSmallDelta(b *testing.B) {
+	mk, grown, nGrown, _ := warmBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Solve(mk(), grown, Options{N: nGrown, MaxSweeps: 500, Tolerance: 1e-6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Converged {
+			b.Fatalf("cold solve did not converge: %v", rep)
+		}
+	}
+}
+
+// BenchmarkSolveWarmSmallDelta re-solves the appended instance warm-started
+// from the previous solution — the summary Refresh hot path the CI bench
+// gate guards.
+func BenchmarkSolveWarmSmallDelta(b *testing.B) {
+	mk, grown, nGrown, prev := warmBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Solve(mk(), grown, Options{N: nGrown, MaxSweeps: 500, Tolerance: 1e-6, Init: prev})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Converged {
+			b.Fatalf("warm solve did not converge: %v", rep)
+		}
+	}
+}

@@ -88,6 +88,14 @@ type Options struct {
 	// concurrently is exact — the solution is identical to the sequential
 	// sweep.
 	Workers int
+	// Init, when non-nil, warm-starts the solve: the variable assignment of
+	// this previously solved system is copied into sys before the first
+	// sweep, replacing the all-ones cold start. When the constraint targets
+	// moved only a little (a small ingestion delta), the previous optimum is
+	// already near-feasible and the solve converges in a few sweeps. Init
+	// must have the same shape as sys (domain sizes and statistic count);
+	// it is read-only during the solve.
+	Init *polynomial.System
 	// Progress, when non-nil, is called after every sweep with the sweep
 	// number and current maximum violation.
 	Progress func(sweep int, maxViolation float64)
@@ -195,9 +203,16 @@ func Solve(sys *polynomial.System, constraints []Constraint, opts Options) (Repo
 		}
 	}
 
+	if opts.Init != nil {
+		if err := sys.CopyVarsFrom(opts.Init); err != nil {
+			return Report{}, fmt.Errorf("solver: warm start: %w", err)
+		}
+	}
+
 	// Pin zero-target statistics once: their variables stay at 0 for the
 	// whole run, and they are excluded from the sweep (their constraints
-	// are satisfied by construction).
+	// are satisfied by construction). Under a warm start this also resets
+	// variables whose target dropped to 0 since the previous solve.
 	active := make([]Constraint, 0, len(constraints))
 	for _, c := range constraints {
 		if c.Target == 0 {

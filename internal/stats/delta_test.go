@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+func deltaTestSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustCategorical("a", []string{"u", "v", "w", "x"}),
+		schema.MustCategorical("b", []string{"p", "q", "r"}),
+		schema.MustBinned("c", 0, 100, 5),
+	)
+}
+
+func randomRelation(sch *schema.Schema, rows int, rng *rand.Rand) *relation.Relation {
+	rel := relation.NewWithCapacity(sch, rows)
+	tuple := make([]int, sch.NumAttrs())
+	for i := 0; i < rows; i++ {
+		for a := range tuple {
+			tuple[a] = rng.Intn(sch.Attr(a).Size())
+		}
+		rel.MustAppend(tuple)
+	}
+	return rel
+}
+
+// TestApplyDeltaMatchesFullRecount appends random deltas to a random base
+// and checks that incrementally updated statistics are exactly equal (counts
+// are integers, so float64 addition is exact) to statistics recomputed from
+// scratch over the combined relation.
+func TestApplyDeltaMatchesFullRecount(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sch := deltaTestSchema()
+	for trial := 0; trial < 20; trial++ {
+		baseRows := 50 + rng.Intn(400)
+		deltaRows := 1 + rng.Intn(200)
+		mut := relation.NewMutable(randomRelation(sch, baseRows, rng))
+
+		base, _ := mut.Freeze()
+		set := NewSet(base)
+		// Give the set some multi statistics to maintain.
+		multi, err := SelectPairStatistics(base, 0, 1, 4, Composite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set.AddMulti(multi...); err != nil {
+			t.Fatal(err)
+		}
+
+		tuple := make([]int, sch.NumAttrs())
+		for i := 0; i < deltaRows; i++ {
+			for a := range tuple {
+				tuple[a] = rng.Intn(sch.Attr(a).Size())
+			}
+			if err := mut.Append(tuple); err != nil {
+				t.Fatal(err)
+			}
+		}
+		full, _ := mut.Freeze()
+		delta, err := full.Slice(baseRows, full.NumRows())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		clone := set.Clone()
+		if err := clone.ApplyDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+
+		// Recount from scratch with the same structure.
+		want := NewSet(full)
+		for _, st := range set.Multi {
+			st.Count = float64(full.Count(st.Predicate(sch.NumAttrs())))
+			if err := want.AddMulti(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if clone.N != want.N {
+			t.Fatalf("trial %d: N = %d, want %d", trial, clone.N, want.N)
+		}
+		for a := range clone.OneD {
+			for v := range clone.OneD[a] {
+				if clone.OneD[a][v] != want.OneD[a][v] {
+					t.Fatalf("trial %d: OneD[%d][%d] = %g, want %g", trial, a, v, clone.OneD[a][v], want.OneD[a][v])
+				}
+			}
+		}
+		for j := range clone.Multi {
+			if clone.Multi[j].Count != want.Multi[j].Count {
+				t.Fatalf("trial %d: Multi[%d].Count = %g, want %g", trial, j, clone.Multi[j].Count, want.Multi[j].Count)
+			}
+		}
+
+		// The base set must be untouched (Clone isolated it).
+		if set.N != baseRows {
+			t.Fatalf("trial %d: ApplyDelta mutated the original set (N=%d)", trial, set.N)
+		}
+	}
+}
+
+func TestApplyDeltaRejectsSchemaMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set := NewSet(randomRelation(deltaTestSchema(), 10, rng))
+
+	other := schema.MustNew(schema.MustCategorical("a", []string{"u", "v"}))
+	if err := set.ApplyDelta(randomRelation(other, 5, rng)); err == nil {
+		t.Fatal("ApplyDelta accepted a delta with a different arity")
+	}
+
+	sameArity := schema.MustNew(
+		schema.MustCategorical("a", []string{"u", "v", "w", "x"}),
+		schema.MustCategorical("b", []string{"p", "q"}), // size 2, set has 3
+		schema.MustBinned("c", 0, 100, 5),
+	)
+	if err := set.ApplyDelta(randomRelation(sameArity, 5, rng)); err == nil {
+		t.Fatal("ApplyDelta accepted a delta with mismatched domain sizes")
+	}
+}

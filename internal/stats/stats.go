@@ -92,6 +92,59 @@ func NewSet(rel *relation.Relation) *Set {
 	return s
 }
 
+// Clone returns a deep copy of the statistic set. Refresh paths clone
+// before applying deltas so the set a served summary answers from stays
+// immutable.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		N:           s.N,
+		DomainSizes: append([]int(nil), s.DomainSizes...),
+		OneD:        make([][]float64, len(s.OneD)),
+		Multi:       make([]Statistic, len(s.Multi)),
+	}
+	for a, col := range s.OneD {
+		c.OneD[a] = append([]float64(nil), col...)
+	}
+	for j, st := range s.Multi {
+		c.Multi[j] = Statistic{
+			Attrs:  append([]int(nil), st.Attrs...),
+			Ranges: append([]query.Range(nil), st.Ranges...),
+			Count:  st.Count,
+		}
+	}
+	return c
+}
+
+// ApplyDelta folds a batch of appended tuples into the counts: N, every
+// 1-dimensional family, and the counts of the existing multi-dimensional
+// statistics. The structural part of the set (which statistics exist, and
+// over which ranges) is unchanged — that is what makes the incremental
+// update sound: the statistics stay the complete families of Sec. 3.1 over
+// the grown relation, just with refreshed observations. Cost is
+// O(delta rows · (attrs + multi statistics)) — no rescan of the base data.
+func (s *Set) ApplyDelta(delta *relation.Relation) error {
+	sizes := delta.Schema().DomainSizes()
+	if len(sizes) != len(s.DomainSizes) {
+		return fmt.Errorf("stats: delta has %d attributes, set has %d", len(sizes), len(s.DomainSizes))
+	}
+	for a, n := range sizes {
+		if n != s.DomainSizes[a] {
+			return fmt.Errorf("stats: delta domain size %d for attribute %d, set has %d", n, a, s.DomainSizes[a])
+		}
+	}
+	for a := range s.OneD {
+		for v, c := range delta.Histogram1D(a) {
+			s.OneD[a][v] += float64(c)
+		}
+	}
+	for j := range s.Multi {
+		st := &s.Multi[j]
+		st.Count += float64(delta.Count(st.Predicate(len(sizes))))
+	}
+	s.N += delta.NumRows()
+	return nil
+}
+
 // AddMulti appends multi-dimensional statistics, verifying that statistics
 // over the same attribute set are pairwise disjoint (an assumption of the
 // compression in Sec. 4.1).

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// savedVersions saves count snapshots of one summary under the key and
+// returns their versions in save order.
+func savedVersions(t *testing.T, st *Store, key string, count int) []int {
+	t.Helper()
+	sum := buildTestSummary(t, 500, 1)
+	versions := make([]int, count)
+	for i := range versions {
+		info, err := st.Save(key, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions[i] = info.Version
+	}
+	return versions
+}
+
+// TestPruneNeverRemovesPinnedVersion is the serving-safety regression
+// test: the version a live registry entry references (pinned) must
+// survive a prune that would otherwise remove it.
+func TestPruneNeverRemovesPinnedVersion(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "demo/maxent"
+	vs := savedVersions(t, st, key, 3) // v1, v2, v3
+
+	// A live registry entry is serving v2.
+	st.Pin(key, vs[1])
+
+	removed, err := st.Prune(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].Version != vs[0] {
+		t.Fatalf("prune removed %v, want only v%d", removed, vs[0])
+	}
+
+	// v2 (pinned) and v3 (newest) must still load; v1 must be gone.
+	if _, _, err := st.Load(key, vs[1]); err != nil {
+		t.Fatalf("pinned version v%d was pruned: %v", vs[1], err)
+	}
+	if _, _, err := st.Load(key, vs[2]); err != nil {
+		t.Fatalf("newest version v%d missing after prune: %v", vs[2], err)
+	}
+	if _, _, err := st.Load(key, vs[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("v%d should be pruned, got err=%v", vs[0], err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), key, snapshotFile(vs[1]))); err != nil {
+		t.Fatalf("pinned snapshot file missing: %v", err)
+	}
+
+	// After the entry moves on (unpin), the old version becomes prunable.
+	st.Unpin(key, vs[1])
+	removed, err = st.Prune(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].Version != vs[1] {
+		t.Fatalf("post-unpin prune removed %v, want v%d", removed, vs[1])
+	}
+}
+
+func TestPinRefcounting(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "demo/maxent"
+	vs := savedVersions(t, st, key, 2)
+
+	st.Pin(key, vs[0])
+	st.Pin(key, vs[0])
+	st.Unpin(key, vs[0])
+	if got := st.Pinned(key); len(got) != 1 || got[0] != vs[0] {
+		t.Fatalf("Pinned = %v, want [%d] (refcount must survive one unpin)", got, vs[0])
+	}
+	if _, err := st.Prune(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(key, vs[0]); err != nil {
+		t.Fatalf("doubly-pinned version pruned after single unpin: %v", err)
+	}
+	st.Unpin(key, vs[0])
+	if got := st.Pinned(key); len(got) != 0 {
+		t.Fatalf("Pinned = %v after final unpin, want empty", got)
+	}
+	// Unpinning something never pinned is a harmless no-op.
+	st.Unpin(key, 999)
+	st.Unpin("nonexistent/key", 1)
+}

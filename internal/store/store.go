@@ -124,6 +124,10 @@ type Store struct {
 	dir string
 	mu  sync.Mutex
 	now func() time.Time // injectable for tests
+	// pins refcounts the snapshot versions currently referenced by live
+	// serving code (dataset key → version → refcount); Prune never removes
+	// a pinned version.
+	pins map[string]map[int]int
 }
 
 // Open validates dir as a snapshot store root: it creates the directory
@@ -146,7 +150,56 @@ func Open(dir string) (*Store, error) {
 	if err := os.Remove(name); err != nil {
 		return nil, fmt.Errorf("store: cleaning writability probe: %w", err)
 	}
-	return &Store{dir: dir, now: time.Now}, nil
+	return &Store{dir: dir, now: time.Now, pins: make(map[string]map[int]int)}, nil
+}
+
+// Pin marks one snapshot version as referenced by a live serving process
+// (a registry entry answering queries from it): Prune will never remove a
+// pinned version, no matter how old it is. Pins are refcounted — Pin
+// twice, Unpin twice — and in-memory only: they protect the serving
+// process that holds them, not other processes sharing the directory.
+func (s *Store) Pin(dataset string, version int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pins[dataset]
+	if m == nil {
+		m = make(map[int]int)
+		s.pins[dataset] = m
+	}
+	m[version]++
+}
+
+// Unpin releases one Pin reference. Unpinning a version that is not
+// pinned is a no-op.
+func (s *Store) Unpin(dataset string, version int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pins[dataset]
+	if m == nil {
+		return
+	}
+	if m[version] > 1 {
+		m[version]--
+		return
+	}
+	delete(m, version)
+	if len(m) == 0 {
+		delete(s.pins, dataset)
+	}
+}
+
+// Pinned returns the currently pinned versions of the dataset key,
+// ascending.
+func (s *Store) Pinned(dataset string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pins[dataset]
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Dir returns the store's root directory.
@@ -426,6 +479,10 @@ func (s *Store) List() ([]Manifest, error) {
 // Prune deletes all but the newest keep snapshots of the dataset key and
 // returns the removed entries. keep must be at least 1 — pruning to
 // nothing is deleting a dataset, which Prune refuses to do implicitly.
+// Versions pinned by a live serving process (see Pin) are never removed,
+// even when they fall outside the newest keep: pruning the snapshot a
+// registry entry is currently serving would leave a restart with nothing
+// to restore that entry from.
 func (s *Store) Prune(dataset string, keep int) ([]SnapshotInfo, error) {
 	if err := validateKey(dataset); err != nil {
 		return nil, err
@@ -444,10 +501,18 @@ func (s *Store) Prune(dataset string, keep int) ([]SnapshotInfo, error) {
 		return nil, nil
 	}
 	cut := len(man.Snapshots) - keep
-	removed := append([]SnapshotInfo(nil), man.Snapshots[:cut]...)
+	var removed []SnapshotInfo
 	drop := make(map[int]bool, cut)
-	for _, sn := range removed {
+	pinned := s.pins[dataset]
+	for _, sn := range man.Snapshots[:cut] {
+		if pinned[sn.Version] > 0 {
+			continue
+		}
+		removed = append(removed, sn)
 		drop[sn.Version] = true
+	}
+	if len(removed) == 0 {
+		return nil, nil
 	}
 	// Publish the shrunken manifest first: a reader that raced the file
 	// removal would otherwise pick a version from the manifest and find
