@@ -9,9 +9,15 @@
 // the mixed read/write workload of a live deployment, exercising the
 // refresh + hot-swap path under concurrent queries.
 //
+// With -batch N, queries travel N to a round trip over POST /query/batch;
+// -wire binary swaps the JSON bodies for the compact binary frames of
+// internal/query. This is the high-throughput client mode the BENCH.md
+// batched-serving table measures.
+//
 //	go run ./cmd/summaryd &
 //	go run ./cmd/loadgen -addr http://localhost:8080 -estimator demo/maxent -requests 2000
 //	go run ./cmd/loadgen -estimator demo/maxent -requests 2000 -ingest-every 10 -ingest-batch 50
+//	go run ./cmd/loadgen -estimator demo/maxent -requests 4000 -batch 32 -wire binary
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 		ingestEvery = flag.Int("ingest-every", 0, "make every Nth request an ingest (0 disables the write mix)")
 		ingestBatch = flag.Int("ingest-batch", 10, "rows per ingest request")
 		ingestData  = flag.String("ingest-dataset", "", "dataset for POST /ingest/{dataset} (default: the estimator's dataset prefix)")
+		batch       = flag.Int("batch", 0, "queries per POST /query/batch round trip (0 or 1 = single-query endpoints)")
+		wire        = flag.String("wire", "json", "batch encoding: json or binary (requires -batch > 1)")
 	)
 	flag.Parse()
 	if *queries <= 0 {
@@ -54,6 +62,18 @@ func main() {
 	}
 	if *ingestEvery < 0 || *ingestBatch <= 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: -ingest-every must be non-negative and -ingest-batch positive\n")
+		os.Exit(2)
+	}
+	if *batch < 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -batch must be non-negative, got %d\n", *batch)
+		os.Exit(2)
+	}
+	if *wire != "json" && *wire != "binary" {
+		fmt.Fprintf(os.Stderr, "loadgen: -wire must be json or binary, got %q\n", *wire)
+		os.Exit(2)
+	}
+	if *batch > 1 && *ingestEvery > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -batch and -ingest-every are mutually exclusive\n")
 		os.Exit(2)
 	}
 
@@ -73,6 +93,8 @@ func main() {
 		Concurrency: *concurrency,
 		Repeat:      repeat,
 		Timeout:     *timeout,
+		Batch:       *batch,
+		Wire:        *wire,
 	}
 	if *ingestEvery > 0 {
 		dataset := *ingestData

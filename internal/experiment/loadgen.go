@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/query"
 	"repro/internal/server"
 )
 
@@ -43,19 +44,37 @@ type LoadOptions struct {
 	// Ingest, when non-nil with Every >= 1, interleaves ingest requests
 	// with the query workload.
 	Ingest *IngestMix
+	// Batch > 1 groups that many workload queries into one POST
+	// /query/batch round trip (0 or 1 keeps the single-query endpoints).
+	// Batched runs do not support an ingest mix.
+	Batch int
+	// Wire selects the batch encoding: "json" (default) or "binary".
+	// Ignored unless Batch > 1.
+	Wire string
 }
 
 // LoadResult aggregates one load-generation run; it is the payload
 // cmd/loadgen prints and the number source of BENCH.md's serving table.
 type LoadResult struct {
-	Estimator     string  `json:"estimator"`
+	Estimator string `json:"estimator"`
+	// Requests counts queries answered; with batching each HTTP round trip
+	// carries several, so Requests >= HTTPRequests and ThroughputQPS is
+	// always queries per second.
 	Requests      int     `json:"requests"`
+	HTTPRequests  int     `json:"http_requests"`
 	Errors        int     `json:"errors"`
 	ElapsedNS     int64   `json:"elapsed_ns"`
 	ThroughputQPS float64 `json:"throughput_qps"`
-	LatencyP50NS  int64   `json:"latency_p50_ns"`
-	LatencyP95NS  int64   `json:"latency_p95_ns"`
-	LatencyMeanNS int64   `json:"latency_mean_ns"`
+	// Batch accounting (zero/empty on unbatched runs). Bytes are summed
+	// over request and response bodies — the wire-format tax per query is
+	// (BytesOut+BytesIn)/Requests.
+	BatchSize     int    `json:"batch_size,omitempty"`
+	Wire          string `json:"wire,omitempty"`
+	BytesOut      int64  `json:"bytes_out,omitempty"`
+	BytesIn       int64  `json:"bytes_in,omitempty"`
+	LatencyP50NS  int64  `json:"latency_p50_ns"`
+	LatencyP95NS  int64  `json:"latency_p95_ns"`
+	LatencyMeanNS int64  `json:"latency_mean_ns"`
 	// CachedResponses counts answers the server reported as cache hits.
 	CachedResponses int `json:"cached_responses"`
 	// Ingest accounting (zero unless LoadOptions.Ingest was set). Ingest
@@ -92,6 +111,12 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
+	}
+	if opts.Batch > 1 {
+		return driveBatched(baseURL, estimator, workload, opts)
+	}
+	if opts.Wire == "binary" {
+		return nil, fmt.Errorf("experiment: the binary wire requires batching (-batch > 1)")
 	}
 
 	// Pre-marshal every request body once so the measured path is pure
@@ -149,7 +174,7 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 		}
 	}
 
-	client := &http.Client{Timeout: opts.Timeout}
+	client := newLoadClient(opts)
 	total := len(calls) * opts.Repeat
 	jobs := make(chan int)
 	// -1 marks requests that failed in transport (and ingest slots); they
@@ -262,6 +287,7 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 	res := &LoadResult{
 		Estimator:       estimator,
 		Requests:        total,
+		HTTPRequests:    total,
 		Errors:          errCount,
 		ElapsedNS:       elapsed.Nanoseconds(),
 		CachedResponses: cachedHits,
@@ -276,6 +302,202 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.ThroughputQPS = float64(total) / secs
+	}
+	measured := latencies[:0]
+	for _, l := range latencies {
+		if l >= 0 {
+			measured = append(measured, l)
+		}
+	}
+	if n := len(measured); n > 0 {
+		var sum int64
+		for _, l := range measured {
+			sum += l
+		}
+		res.LatencyMeanNS = sum / int64(n)
+		sort.Slice(measured, func(i, j int) bool { return measured[i] < measured[j] })
+		res.LatencyP50NS = measured[int(0.50*float64(n-1))]
+		res.LatencyP95NS = measured[int(0.95*float64(n-1))]
+	}
+	return res, nil
+}
+
+// newLoadClient builds an HTTP client whose transport keeps one idle
+// connection per worker: the stock transport caps idle connections per
+// host at 2, so any Concurrency above that re-dials TCP mid-run and the
+// handshake tax dominates what should be a serving measurement.
+func newLoadClient(opts LoadOptions) *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        2 * opts.Concurrency,
+		MaxIdleConnsPerHost: opts.Concurrency,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &http.Client{Timeout: opts.Timeout, Transport: tr}
+}
+
+// driveBatched is the POST /query/batch load path: the workload is cut
+// into Batch-sized round trips, each pre-encoded once on the selected wire,
+// and replayed Repeat times. Accounting is per query (Requests,
+// ThroughputQPS) with latency quantiles per round trip.
+func driveBatched(baseURL, estimator string, workload []Query, opts LoadOptions) (*LoadResult, error) {
+	wire := opts.Wire
+	switch wire {
+	case "", "json":
+		wire = "json"
+	case "binary":
+	default:
+		return nil, fmt.Errorf("experiment: unknown wire %q (use json or binary)", opts.Wire)
+	}
+	if opts.Ingest != nil && opts.Ingest.Every >= 1 {
+		return nil, fmt.Errorf("experiment: the ingest mix requires unbatched mode")
+	}
+	contentType := "application/json"
+	if wire == "binary" {
+		contentType = server.BinaryBatchContentType
+	}
+
+	type round struct {
+		body    []byte
+		queries int
+	}
+	var rounds []round
+	for off := 0; off < len(workload); off += opts.Batch {
+		end := off + opts.Batch
+		if end > len(workload) {
+			end = len(workload)
+		}
+		chunk := workload[off:end]
+		var body []byte
+		if wire == "binary" {
+			items := make([]query.BatchItem, len(chunk))
+			for i, q := range chunk {
+				items[i] = query.BatchItem{Pred: q.Pred, GroupBy: q.GroupBy}
+			}
+			var buf bytes.Buffer
+			if err := query.EncodeBatch(&buf, estimator, items); err != nil {
+				return nil, fmt.Errorf("experiment: encode batch frame: %w", err)
+			}
+			body = buf.Bytes()
+		} else {
+			req := server.BatchQueryRequest{Estimator: estimator}
+			for _, q := range chunk {
+				req.Queries = append(req.Queries, server.BatchQueryItem{Predicate: q.Pred, GroupBy: q.GroupBy})
+			}
+			var err error
+			if body, err = json.Marshal(req); err != nil {
+				return nil, fmt.Errorf("experiment: marshal batch: %w", err)
+			}
+		}
+		rounds = append(rounds, round{body: body, queries: len(chunk)})
+	}
+
+	client := newLoadClient(opts)
+	totalRounds := len(rounds) * opts.Repeat
+	jobs := make(chan int)
+	latencies := make([]int64, totalRounds)
+	for i := range latencies {
+		latencies[i] = -1
+	}
+	var (
+		mu         sync.Mutex
+		errCount   int
+		cachedHits int
+		firstErr   string
+		bytesOut   int64
+		bytesIn    int64
+	)
+	account := func(errs, cached int, out, in int64, msg string) {
+		mu.Lock()
+		errCount += errs
+		cachedHits += cached
+		bytesOut += out
+		bytesIn += in
+		if msg != "" && firstErr == "" {
+			firstErr = msg
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := rounds[j%len(rounds)]
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/query/batch", contentType, bytes.NewReader(r.body))
+				if err != nil {
+					// A transport failure loses the whole round trip.
+					account(r.queries, 0, int64(len(r.body)), 0, err.Error())
+					continue
+				}
+				rbody, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				latencies[j] = time.Since(t0).Nanoseconds()
+				out, in := int64(len(r.body)), int64(len(rbody))
+				if rerr != nil {
+					account(r.queries, 0, out, in, rerr.Error())
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					account(r.queries, 0, out, in, fmt.Sprintf("status %d: %s", resp.StatusCode, rbody))
+					continue
+				}
+				var answers []query.BatchAnswer
+				if wire == "binary" {
+					_, answers, err = query.DecodeAnswers(bytes.NewReader(rbody))
+				} else {
+					var br server.BatchQueryResponse
+					if err = json.Unmarshal(rbody, &br); err == nil {
+						answers = make([]query.BatchAnswer, len(br.Answers))
+						for i, a := range br.Answers {
+							answers[i] = query.BatchAnswer{Cached: a.Cached, Error: a.Error}
+						}
+					}
+				}
+				if err != nil {
+					account(r.queries, 0, out, in, err.Error())
+					continue
+				}
+				errs, cached := 0, 0
+				var msg string
+				for _, a := range answers {
+					if a.Error != "" {
+						errs++
+						msg = a.Error
+					}
+					if a.Cached {
+						cached++
+					}
+				}
+				account(errs, cached, out, in, msg)
+			}
+		}()
+	}
+	for j := 0; j < totalRounds; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Estimator:       estimator,
+		Requests:        len(workload) * opts.Repeat,
+		HTTPRequests:    totalRounds,
+		Errors:          errCount,
+		ElapsedNS:       elapsed.Nanoseconds(),
+		CachedResponses: cachedHits,
+		BatchSize:       opts.Batch,
+		Wire:            wire,
+		BytesOut:        bytesOut,
+		BytesIn:         bytesIn,
+		FirstError:      firstErr,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.ThroughputQPS = float64(res.Requests) / secs
 	}
 	measured := latencies[:0]
 	for _, l := range latencies {

@@ -1,0 +1,554 @@
+// Binary wire format for batched queries and answers, the compact frame
+// behind summaryd's POST /query/batch. HTTP/JSON per-query round trips
+// dominate serving cost once the model answers in microseconds; this
+// format amortizes the transport by carrying N queries (and N answers)
+// per round trip, encoded as varints and raw float bits instead of JSON
+// text.
+//
+// Framing follows the conventions of the snapshot store (internal/store):
+// an 8-byte magic, a little-endian uint16 format version, 2 reserved
+// bytes, a uint64 payload length, and a CRC32-C checksum of the payload —
+// 24 bytes total, then the payload. Decode verifies all of it before
+// touching the payload, so truncated frames, corrupted bytes, and lying
+// length fields are rejected with descriptive errors instead of being
+// decoded into silently-wrong queries.
+//
+// Request payload layout (all ints unsigned varints unless noted):
+//
+//	estimator   len + UTF-8 bytes
+//	count       number of batch items (1..MaxBatchItems)
+//	per item:
+//	  num_attrs
+//	  group-by   count + attribute indexes (0 = counting query)
+//	  where      count + per constraint:
+//	               attr, tag byte 'r' | 's',
+//	               'r': lo, hi (inclusive, lo <= hi)
+//	               's': count + sorted distinct values
+//
+// Answer payload layout:
+//
+//	estimator   len + UTF-8 bytes
+//	count       number of answers
+//	per answer: flags byte (bit0 cached, bit1 group-by, bit2 error), then
+//	  error:    len + message
+//	  group-by: count + per group (len + values, float64 estimate bits)
+//	  count:    float64 bits (little-endian IEEE 754)
+//
+// Floats travel as exact bit patterns, so a decoded answer is
+// bit-identical to the server-side float64 — the same guarantee the JSON
+// path gets from Go's round-trippable float encoding.
+
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	// batchRequestMagic and batchAnswerMagic identify the two frame kinds;
+	// the trailing byte doubles as framing-version bump space.
+	batchRequestMagic = "EDBBATQ1"
+	batchAnswerMagic  = "EDBBATA1"
+	// batchFormatVersion is the payload format version; bump it when the
+	// payload layout changes incompatibly.
+	batchFormatVersion = 1
+	// batchHeaderSize is magic (8) + version (2) + reserved (2) + payload
+	// length (8) + CRC32-C (4).
+	batchHeaderSize = 8 + 2 + 2 + 8 + 4
+	// MaxBatchFrameBytes bounds the payload a decoder will read (16 MiB),
+	// so a corrupted or hostile length field cannot drive an absurd
+	// allocation.
+	MaxBatchFrameBytes = 16 << 20
+	// MaxBatchItems bounds the number of queries (and answers) per frame.
+	MaxBatchItems = 1 << 16
+)
+
+// ErrFrame tags every framing/integrity failure of the batch decoders
+// (bad magic, version mismatch, truncation, length mismatch, checksum
+// mismatch), so transports can distinguish damage from semantic
+// validation errors.
+var ErrFrame = errors.New("query: batch frame corrupt")
+
+var batchCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BatchItem is one query of a batch: a counting query when GroupBy is
+// empty, a group-by query otherwise. A nil predicate asks for the full
+// relation cardinality, mirroring POST /query.
+type BatchItem struct {
+	Pred    *Predicate
+	GroupBy []int
+}
+
+// BatchGroup is one group of a group-by answer.
+type BatchGroup struct {
+	Values   []int
+	Estimate float64
+}
+
+// BatchAnswer is the answer to one BatchItem. Exactly one of Count,
+// Groups, or Error is meaningful: Error is set when the item failed
+// (arity mismatch, estimator failure), Groups when the item was a
+// group-by, Count otherwise.
+type BatchAnswer struct {
+	Count   float64
+	Groups  []BatchGroup
+	Cached  bool
+	IsGroup bool
+	Error   string
+}
+
+// --- encoding ---------------------------------------------------------
+
+// frameWriter accumulates a payload and frames it on flush.
+type frameWriter struct {
+	buf []byte
+}
+
+func (w *frameWriter) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *frameWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *frameWriter) float(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// flush frames the accumulated payload under the given magic and writes
+// the complete frame to out.
+func (w *frameWriter) flush(out io.Writer, magic string) error {
+	if len(w.buf) > MaxBatchFrameBytes {
+		return fmt.Errorf("query: batch payload %d bytes exceeds the %d-byte frame bound", len(w.buf), MaxBatchFrameBytes)
+	}
+	head := make([]byte, batchHeaderSize)
+	copy(head[:8], magic)
+	binary.LittleEndian.PutUint16(head[8:10], batchFormatVersion)
+	// head[10:12] reserved, zero.
+	binary.LittleEndian.PutUint64(head[12:20], uint64(len(w.buf)))
+	binary.LittleEndian.PutUint32(head[20:24], crc32.Checksum(w.buf, batchCRCTable))
+	if _, err := out.Write(head); err != nil {
+		return err
+	}
+	_, err := out.Write(w.buf)
+	return err
+}
+
+// EncodeBatch writes a framed batch request: the target estimator name
+// and N queries. Items are validated the same way DecodeBatch validates
+// them, so an encoder can never produce a frame its decoder rejects.
+func EncodeBatch(out io.Writer, estimator string, items []BatchItem) error {
+	if len(items) == 0 {
+		return errors.New("query: batch must contain at least one item")
+	}
+	if len(items) > MaxBatchItems {
+		return fmt.Errorf("query: batch of %d items exceeds the %d-item bound", len(items), MaxBatchItems)
+	}
+	w := &frameWriter{}
+	w.str(estimator)
+	w.uvarint(uint64(len(items)))
+	for i, it := range items {
+		if err := encodeItem(w, it); err != nil {
+			return fmt.Errorf("query: batch item %d: %w", i, err)
+		}
+	}
+	return w.flush(out, batchRequestMagic)
+}
+
+// encodeItem appends one batch item to the payload.
+func encodeItem(w *frameWriter, it BatchItem) error {
+	numAttrs := 0
+	if it.Pred != nil {
+		numAttrs = it.Pred.NumAttrs()
+	}
+	// A nil predicate still needs an arity for group-by validation; the
+	// wire carries 0 and the server resolves it against the estimator.
+	w.uvarint(uint64(numAttrs))
+	w.uvarint(uint64(len(it.GroupBy)))
+	for _, a := range it.GroupBy {
+		if a < 0 {
+			return fmt.Errorf("group-by attribute %d must be non-negative", a)
+		}
+		w.uvarint(uint64(a))
+	}
+	if it.Pred == nil {
+		w.uvarint(0)
+		return nil
+	}
+	attrs := it.Pred.ConstrainedAttrs()
+	w.uvarint(uint64(len(attrs)))
+	for _, a := range attrs {
+		c := it.Pred.Constraint(a)
+		w.uvarint(uint64(a))
+		switch c.Kind {
+		case InRange:
+			w.buf = append(w.buf, 'r')
+			w.uvarint(uint64(c.Range.Lo))
+			w.uvarint(uint64(c.Range.Hi))
+		case InSet:
+			w.buf = append(w.buf, 's')
+			w.uvarint(uint64(len(c.Values)))
+			for _, v := range c.Values {
+				w.uvarint(uint64(v))
+			}
+		default:
+			return fmt.Errorf("cannot encode constraint kind %d on attribute %d", c.Kind, a)
+		}
+	}
+	return nil
+}
+
+// EncodeAnswers writes a framed batch answer: the answering estimator
+// name and one BatchAnswer per request item, in request order.
+func EncodeAnswers(out io.Writer, estimator string, answers []BatchAnswer) error {
+	w := &frameWriter{}
+	w.str(estimator)
+	w.uvarint(uint64(len(answers)))
+	for _, a := range answers {
+		var flags byte
+		if a.Cached {
+			flags |= 1
+		}
+		if a.IsGroup {
+			flags |= 2
+		}
+		if a.Error != "" {
+			flags |= 4
+		}
+		w.buf = append(w.buf, flags)
+		switch {
+		case a.Error != "":
+			w.str(a.Error)
+		case a.IsGroup:
+			w.uvarint(uint64(len(a.Groups)))
+			for _, g := range a.Groups {
+				w.uvarint(uint64(len(g.Values)))
+				for _, v := range g.Values {
+					w.uvarint(uint64(v))
+				}
+				w.float(g.Estimate)
+			}
+		default:
+			w.float(a.Count)
+		}
+	}
+	return w.flush(out, batchAnswerMagic)
+}
+
+// --- decoding ---------------------------------------------------------
+
+// frameReader walks a verified payload with bounds-checked reads.
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+func (r *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrFrame, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a varint bounded by max, guarding slice pre-allocation
+// against length lies: a count can never exceed the bytes remaining
+// (every counted element is at least one byte).
+func (r *frameReader) count(max int, what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds the %d bound", ErrFrame, what, v, max)
+	}
+	if v > uint64(len(r.buf)-r.off) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds the %d bytes remaining", ErrFrame, what, v, len(r.buf)-r.off)
+	}
+	return int(v), nil
+}
+
+func (r *frameReader) str(max int, what string) (string, error) {
+	n, err := r.count(max, what)
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *frameReader) float() (float64, error) {
+	if len(r.buf)-r.off < 8 {
+		return 0, fmt.Errorf("%w: truncated float at offset %d", ErrFrame, r.off)
+	}
+	bits := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (r *frameReader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrFrame, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// readFrame verifies the framing (magic, version, length, CRC32-C) and
+// returns the payload.
+func readFrame(in io.Reader, magic string) ([]byte, error) {
+	var head [batchHeaderSize]byte
+	if _, err := io.ReadFull(in, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header truncated (%v)", ErrFrame, err)
+	}
+	if string(head[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrFrame, head[:8], magic)
+	}
+	if v := binary.LittleEndian.Uint16(head[8:10]); v != batchFormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrFrame, v, batchFormatVersion)
+	}
+	length := binary.LittleEndian.Uint64(head[12:20])
+	if length > MaxBatchFrameBytes {
+		return nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte bound", ErrFrame, length, int64(MaxBatchFrameBytes))
+	}
+	want := binary.LittleEndian.Uint32(head[20:24])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(in, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload truncated (%v)", ErrFrame, err)
+	}
+	// Trailing bytes mean the length field and the frame disagree.
+	var one [1]byte
+	if n, _ := in.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: %d-byte payload followed by trailing garbage", ErrFrame, length)
+	}
+	if got := crc32.Checksum(payload, batchCRCTable); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrFrame, got, want)
+	}
+	return payload, nil
+}
+
+// DecodeBatch reads and validates a framed batch request, returning the
+// estimator name and the decoded items. Validation mirrors the JSON
+// path's strictness — out-of-range or duplicate attributes, inverted
+// ranges, and empty sets are rejected with errors that pinpoint the
+// offending item — so a malformed frame never becomes a silently-wrong
+// query.
+func DecodeBatch(in io.Reader) (string, []BatchItem, error) {
+	payload, err := readFrame(in, batchRequestMagic)
+	if err != nil {
+		return "", nil, err
+	}
+	r := &frameReader{buf: payload}
+	estimator, err := r.str(1<<10, "estimator name")
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := r.count(MaxBatchItems, "batch item")
+	if err != nil {
+		return "", nil, err
+	}
+	if n == 0 {
+		return "", nil, errors.New("query: batch must contain at least one item")
+	}
+	items := make([]BatchItem, n)
+	for i := range items {
+		it, err := decodeItem(r)
+		if err != nil {
+			return "", nil, fmt.Errorf("query: batch item %d: %w", i, err)
+		}
+		items[i] = it
+	}
+	if err := r.done(); err != nil {
+		return "", nil, err
+	}
+	return estimator, items, nil
+}
+
+// decodeItem reads and validates one batch item.
+func decodeItem(r *frameReader) (BatchItem, error) {
+	numAttrs64, err := r.uvarint()
+	if err != nil {
+		return BatchItem{}, err
+	}
+	if numAttrs64 > 1<<20 {
+		return BatchItem{}, fmt.Errorf("%w: num_attrs %d is absurd", ErrFrame, numAttrs64)
+	}
+	numAttrs := int(numAttrs64)
+
+	var it BatchItem
+	ng, err := r.count(1<<10, "group-by")
+	if err != nil {
+		return BatchItem{}, err
+	}
+	if ng > 0 {
+		it.GroupBy = make([]int, ng)
+		for k := range it.GroupBy {
+			a, err := r.uvarint()
+			if err != nil {
+				return BatchItem{}, err
+			}
+			it.GroupBy[k] = int(a)
+		}
+	}
+
+	nc, err := r.count(1<<16, "constraint")
+	if err != nil {
+		return BatchItem{}, err
+	}
+	if nc == 0 {
+		// No constraints: a nil predicate (full-cardinality / pure group-by
+		// query) when the item carried no arity either.
+		if numAttrs == 0 {
+			return it, nil
+		}
+		it.Pred = NewPredicate(numAttrs)
+		return it, nil
+	}
+	if numAttrs == 0 {
+		return BatchItem{}, errors.New("constraints without num_attrs")
+	}
+	pred := NewPredicate(numAttrs)
+	prev := -1
+	for k := 0; k < nc; k++ {
+		a64, err := r.uvarint()
+		if err != nil {
+			return BatchItem{}, err
+		}
+		attr := int(a64)
+		if attr >= numAttrs {
+			return BatchItem{}, fmt.Errorf("attribute %d out of range [0,%d)", attr, numAttrs)
+		}
+		if attr <= prev {
+			return BatchItem{}, fmt.Errorf("constraints not strictly ascending by attribute (%d after %d)", attr, prev)
+		}
+		prev = attr
+		if r.off >= len(r.buf) {
+			return BatchItem{}, fmt.Errorf("%w: truncated constraint tag", ErrFrame)
+		}
+		tag := r.buf[r.off]
+		r.off++
+		switch tag {
+		case 'r':
+			lo, err := r.uvarint()
+			if err != nil {
+				return BatchItem{}, err
+			}
+			hi, err := r.uvarint()
+			if err != nil {
+				return BatchItem{}, err
+			}
+			if hi < lo {
+				return BatchItem{}, fmt.Errorf("empty range [%d,%d]", lo, hi)
+			}
+			pred.Where(attr, ValueIn(NewRange(int(lo), int(hi))))
+		case 's':
+			nv, err := r.count(1<<16, "set value")
+			if err != nil {
+				return BatchItem{}, err
+			}
+			if nv == 0 {
+				return BatchItem{}, errors.New("set constraint needs a non-empty value list")
+			}
+			values := make([]int, nv)
+			for j := range values {
+				v, err := r.uvarint()
+				if err != nil {
+					return BatchItem{}, err
+				}
+				values[j] = int(v)
+			}
+			pred.Where(attr, ValueSet(values))
+		default:
+			return BatchItem{}, fmt.Errorf("unknown constraint tag %q (want 'r' or 's')", tag)
+		}
+	}
+	it.Pred = pred
+	return it, nil
+}
+
+// DecodeAnswers reads and validates a framed batch answer, returning the
+// estimator name and the decoded answers.
+func DecodeAnswers(in io.Reader) (string, []BatchAnswer, error) {
+	payload, err := readFrame(in, batchAnswerMagic)
+	if err != nil {
+		return "", nil, err
+	}
+	r := &frameReader{buf: payload}
+	estimator, err := r.str(1<<10, "estimator name")
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := r.count(MaxBatchItems, "answer")
+	if err != nil {
+		return "", nil, err
+	}
+	answers := make([]BatchAnswer, n)
+	for i := range answers {
+		if r.off >= len(r.buf) {
+			return "", nil, fmt.Errorf("%w: truncated answer flags", ErrFrame)
+		}
+		flags := r.buf[r.off]
+		r.off++
+		if flags&^7 != 0 {
+			return "", nil, fmt.Errorf("%w: answer %d has unknown flag bits %#x", ErrFrame, i, flags)
+		}
+		a := BatchAnswer{Cached: flags&1 != 0, IsGroup: flags&2 != 0}
+		switch {
+		case flags&4 != 0:
+			msg, err := r.str(1<<12, "error message")
+			if err != nil {
+				return "", nil, err
+			}
+			if msg == "" {
+				return "", nil, fmt.Errorf("%w: answer %d flags an error with an empty message", ErrFrame, i)
+			}
+			a.Error = msg
+		case a.IsGroup:
+			ngroups, err := r.count(1<<20, "group")
+			if err != nil {
+				return "", nil, err
+			}
+			if ngroups > 0 {
+				a.Groups = make([]BatchGroup, ngroups)
+			}
+			for g := range a.Groups {
+				nv, err := r.count(1<<8, "group value")
+				if err != nil {
+					return "", nil, err
+				}
+				values := make([]int, nv)
+				for j := range values {
+					v, err := r.uvarint()
+					if err != nil {
+						return "", nil, err
+					}
+					values[j] = int(v)
+				}
+				est, err := r.float()
+				if err != nil {
+					return "", nil, err
+				}
+				a.Groups[g] = BatchGroup{Values: values, Estimate: est}
+			}
+		default:
+			c, err := r.float()
+			if err != nil {
+				return "", nil, err
+			}
+			a.Count = c
+		}
+		answers[i] = a
+	}
+	if err := r.done(); err != nil {
+		return "", nil, err
+	}
+	return estimator, answers, nil
+}

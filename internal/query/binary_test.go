@@ -1,0 +1,284 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomItem builds a random batch item over a 5-attribute schema with
+// domain sizes up to 16, mixing counting and group-by queries and all
+// constraint kinds.
+func randomItem(rng *rand.Rand) BatchItem {
+	const numAttrs, maxVal = 5, 16
+	var it BatchItem
+	if rng.Intn(8) == 0 {
+		// Predicate-free item (full cardinality or pure group-by).
+		if rng.Intn(2) == 0 {
+			it.GroupBy = []int{rng.Intn(numAttrs)}
+		}
+		return it
+	}
+	p := NewPredicate(numAttrs)
+	for _, a := range rng.Perm(numAttrs)[:1+rng.Intn(3)] {
+		switch rng.Intn(3) {
+		case 0:
+			p.WhereEq(a, rng.Intn(maxVal))
+		case 1:
+			lo := rng.Intn(maxVal)
+			p.WhereRange(a, lo, lo+rng.Intn(maxVal-lo))
+		default:
+			vals := make([]int, 1+rng.Intn(4))
+			for i := range vals {
+				vals[i] = rng.Intn(maxVal)
+			}
+			p.WhereIn(a, vals...)
+		}
+	}
+	it.Pred = p
+	if rng.Intn(4) == 0 {
+		it.GroupBy = []int{rng.Intn(numAttrs)}
+	}
+	return it
+}
+
+// TestBatchRequestRoundTrip encodes random batches and asserts the decoded
+// items are semantically identical (predicate equality, same group-bys).
+func TestBatchRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		items := make([]BatchItem, 1+rng.Intn(40))
+		for i := range items {
+			items[i] = randomItem(rng)
+		}
+		var buf bytes.Buffer
+		if err := EncodeBatch(&buf, "demo/maxent", items); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		estimator, got, err := DecodeBatch(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if estimator != "demo/maxent" {
+			t.Fatalf("trial %d: estimator %q", trial, estimator)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("trial %d: %d items decoded, want %d", trial, len(got), len(items))
+		}
+		for i, it := range items {
+			g := got[i]
+			switch {
+			case it.Pred == nil && g.Pred != nil:
+				t.Errorf("trial %d item %d: decoded a predicate from a nil one", trial, i)
+			case it.Pred != nil && g.Pred == nil:
+				t.Errorf("trial %d item %d: predicate lost", trial, i)
+			case it.Pred != nil && !it.Pred.Equal(g.Pred):
+				t.Errorf("trial %d item %d: %s != %s", trial, i, it.Pred, g.Pred)
+			}
+			if len(it.GroupBy) != len(g.GroupBy) {
+				t.Errorf("trial %d item %d: group-by %v != %v", trial, i, g.GroupBy, it.GroupBy)
+				continue
+			}
+			for k := range it.GroupBy {
+				if it.GroupBy[k] != g.GroupBy[k] {
+					t.Errorf("trial %d item %d: group-by %v != %v", trial, i, g.GroupBy, it.GroupBy)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAnswerRoundTrip covers all three answer shapes, including exact
+// float bit patterns.
+func TestBatchAnswerRoundTrip(t *testing.T) {
+	answers := []BatchAnswer{
+		{Count: 1234.5678901234567, Cached: true},
+		{Count: math.Nextafter(1, 2)},
+		{IsGroup: true, Groups: []BatchGroup{
+			{Values: []int{0, 3}, Estimate: 17.25},
+			{Values: []int{1, 0}, Estimate: 0.000123456789},
+		}},
+		{IsGroup: true, Groups: nil, Cached: true}, // empty group answer
+		{Error: "summary: group-by space exceeds 65536 combinations"},
+	}
+	var buf bytes.Buffer
+	if err := EncodeAnswers(&buf, "demo/exact", answers); err != nil {
+		t.Fatal(err)
+	}
+	estimator, got, err := DecodeAnswers(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estimator != "demo/exact" {
+		t.Fatalf("estimator %q", estimator)
+	}
+	if len(got) != len(answers) {
+		t.Fatalf("%d answers, want %d", len(got), len(answers))
+	}
+	for i, want := range answers {
+		g := got[i]
+		if g.Cached != want.Cached || g.IsGroup != want.IsGroup || g.Error != want.Error {
+			t.Errorf("answer %d: flags/error %+v != %+v", i, g, want)
+		}
+		if math.Float64bits(g.Count) != math.Float64bits(want.Count) {
+			t.Errorf("answer %d: count bits differ: %v != %v", i, g.Count, want.Count)
+		}
+		if len(g.Groups) != len(want.Groups) {
+			t.Errorf("answer %d: %d groups, want %d", i, len(g.Groups), len(want.Groups))
+			continue
+		}
+		for k, wg := range want.Groups {
+			if math.Float64bits(g.Groups[k].Estimate) != math.Float64bits(wg.Estimate) {
+				t.Errorf("answer %d group %d: estimate bits differ", i, k)
+			}
+		}
+	}
+}
+
+// TestBatchFrameRejections drives every framing failure mode and asserts a
+// clean, tagged error — never a panic, never a silent wrong decode.
+func TestBatchFrameRejections(t *testing.T) {
+	var buf bytes.Buffer
+	items := []BatchItem{{Pred: NewPredicate(4).WhereEq(0, 1)}}
+	if err := EncodeBatch(&buf, "demo/maxent", items); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	t.Run("truncated header", func(t *testing.T) {
+		_, _, err := DecodeBatch(bytes.NewReader(frame[:10]))
+		if !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		_, _, err := DecodeBatch(bytes.NewReader(frame[:len(frame)-2]))
+		if !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[0] ^= 0xff
+		_, _, err := DecodeBatch(bytes.NewReader(bad))
+		if !errors.Is(err, ErrFrame) || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("err = %v, want magic ErrFrame", err)
+		}
+	})
+	t.Run("answer magic on request decoder", func(t *testing.T) {
+		var abuf bytes.Buffer
+		if err := EncodeAnswers(&abuf, "x", []BatchAnswer{{Count: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := DecodeBatch(bytes.NewReader(abuf.Bytes()))
+		if !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("version mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[8] = 99
+		_, _, err := DecodeBatch(bytes.NewReader(bad))
+		if !errors.Is(err, ErrFrame) || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("err = %v, want version ErrFrame", err)
+		}
+	})
+	t.Run("crc corruption", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[len(bad)-1] ^= 0x01 // flip a payload bit
+		_, _, err := DecodeBatch(bytes.NewReader(bad))
+		if !errors.Is(err, ErrFrame) || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum ErrFrame", err)
+		}
+	})
+	t.Run("length lies short", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		// Claim one byte fewer than present: trailing garbage.
+		n := len(bad) - 24
+		bad[12] = byte(n - 1)
+		_, _, err := DecodeBatch(bytes.NewReader(bad))
+		if !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("length lies absurd", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		for i := 12; i < 20; i++ {
+			bad[i] = 0xff
+		}
+		_, _, err := DecodeBatch(bytes.NewReader(bad))
+		if !errors.Is(err, ErrFrame) || !strings.Contains(err.Error(), "bound") {
+			t.Fatalf("err = %v, want bound ErrFrame", err)
+		}
+	})
+	t.Run("empty batch", func(t *testing.T) {
+		if err := EncodeBatch(&bytes.Buffer{}, "x", nil); err == nil {
+			t.Fatal("empty batch encoded")
+		}
+	})
+}
+
+// FuzzDecodeBatch hammers the request decoder with mutated frames: the
+// only contract is no panic, and any accepted input must re-encode.
+func FuzzDecodeBatch(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		items := make([]BatchItem, 1+rng.Intn(5))
+		for i := range items {
+			items[i] = randomItem(rng)
+		}
+		var buf bytes.Buffer
+		if err := EncodeBatch(&buf, "demo/maxent", items); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte(batchRequestMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		estimator, items, err := DecodeBatch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must be encodable again and decode
+		// to the same batch — the decoder defines the canonical form.
+		var buf bytes.Buffer
+		if err := EncodeBatch(&buf, estimator, items); err != nil {
+			t.Fatalf("accepted batch failed to re-encode: %v", err)
+		}
+		est2, items2, err := DecodeBatch(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+		if est2 != estimator || len(items2) != len(items) {
+			t.Fatalf("round trip drifted: %q/%d != %q/%d", est2, len(items2), estimator, len(items))
+		}
+		for i := range items {
+			a, b := items[i], items2[i]
+			if (a.Pred == nil) != (b.Pred == nil) || (a.Pred != nil && !a.Pred.Equal(b.Pred)) {
+				t.Fatalf("item %d predicate drifted", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeAnswers is the answer-side counterpart.
+func FuzzDecodeAnswers(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeAnswers(&buf, "demo/maxent", []BatchAnswer{
+		{Count: 42.5, Cached: true},
+		{IsGroup: true, Groups: []BatchGroup{{Values: []int{1}, Estimate: 3}}},
+		{Error: "boom"},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = DecodeAnswers(bytes.NewReader(data))
+	})
+}

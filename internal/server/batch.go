@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// BinaryBatchContentType is the media type of the binary batch frames on
+// POST /query/batch (request and response; the frame magic distinguishes
+// the two directions). Anything else is treated as JSON.
+const BinaryBatchContentType = "application/x-entropydb-batch"
+
+// BatchQueryItem is one query of a JSON POST /query/batch body. An empty
+// group_by asks for a count; a non-empty one for a group-by.
+type BatchQueryItem struct {
+	Predicate *query.Predicate `json:"predicate,omitempty"`
+	GroupBy   []int            `json:"group_by,omitempty"`
+}
+
+// BatchQueryRequest is the JSON body of POST /query/batch.
+type BatchQueryRequest struct {
+	Estimator string           `json:"estimator"`
+	Queries   []BatchQueryItem `json:"queries"`
+}
+
+// BatchResult is one answer of a JSON batch response. Exactly one of
+// count/groups/error is meaningful: error for a per-query failure, groups
+// when is_group, count otherwise.
+type BatchResult struct {
+	Count   float64    `json:"count"`
+	Groups  []GroupRow `json:"groups,omitempty"`
+	IsGroup bool       `json:"is_group,omitempty"`
+	Cached  bool       `json:"cached,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// BatchQueryResponse is the JSON body of a successful POST /query/batch.
+type BatchQueryResponse struct {
+	Estimator string        `json:"estimator"`
+	Answers   []BatchResult `json:"answers"`
+	LatencyNS int64         `json:"latency_ns"`
+}
+
+// handleBatch serves POST /query/batch: N queries answered in one round
+// trip. The request wire is chosen by Content-Type and the response wire
+// by Accept (defaulting to mirror the request); both JSON and the binary
+// frame of internal/query are supported, and they produce bit-identical
+// answers because both paths share queryKey, the cache, and the
+// estimators.
+//
+// Batch-level problems (malformed body, unknown estimator, empty or
+// oversized batch, admission failure) are HTTP errors; per-query problems
+// (arity mismatch, estimator refusal) land in that answer's error field
+// under a 200, so one bad query cannot void its batchmates. Cache hits are
+// served without touching the worker pool; all misses of a batch are
+// evaluated under a single admission slot — the batch pays one queue wait,
+// not N.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	failed := false
+	defer func() { s.metrics.Record(s.opts.Now().Sub(start), failed) }()
+	fail := func(herr *httpError) {
+		failed = true
+		writeJSON(w, herr.status, errorResponse{Error: herr.msg})
+	}
+	if r.Method != http.MethodPost {
+		fail(&httpError{status: http.StatusMethodNotAllowed, msg: "use POST"})
+		return
+	}
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), BinaryBatchContentType)
+	binaryResp := wantBinaryAnswers(r.Header.Get("Accept"), binaryReq)
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
+
+	var estimator string
+	var items []query.BatchItem
+	if binaryReq {
+		var err error
+		estimator, items, err = query.DecodeBatch(body)
+		if err != nil {
+			fail(badRequest("malformed batch frame: %v", err))
+			return
+		}
+	} else {
+		var req BatchQueryRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			fail(badRequest("malformed request body: %v", err))
+			return
+		}
+		estimator = req.Estimator
+		items = make([]query.BatchItem, len(req.Queries))
+		for i, q := range req.Queries {
+			items[i] = query.BatchItem{Pred: q.Predicate, GroupBy: q.GroupBy}
+		}
+	}
+	if len(items) == 0 {
+		fail(badRequest("batch is empty"))
+		return
+	}
+	if len(items) > s.opts.MaxBatch {
+		fail(badRequest("batch of %d queries exceeds the limit of %d", len(items), s.opts.MaxBatch))
+		return
+	}
+	if estimator == "" {
+		fail(badRequest(`missing "estimator"`))
+		return
+	}
+	// Resolve the estimator once: every answer of a batch comes from the
+	// same registry snapshot (name + generation), even if an ingest swaps
+	// the estimator mid-flight.
+	ent, ok := s.reg.Get(estimator)
+	if !ok {
+		fail(&httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown estimator %q", estimator)})
+		return
+	}
+	s.metrics.RecordBatch(len(items), body.n, binaryReq)
+
+	answers := make([]query.BatchAnswer, len(items))
+	type miss struct {
+		idx int
+		key string
+	}
+	var misses []miss
+	for i, it := range items {
+		kind := "c"
+		if len(it.GroupBy) > 0 {
+			kind = "g"
+		}
+		key, err := queryKey(ent, kind, it.Pred, it.GroupBy)
+		if err != nil {
+			answers[i] = query.BatchAnswer{IsGroup: kind == "g", Error: err.Error()}
+			continue
+		}
+		if v, hit := s.cache.Get(key); hit {
+			if kind == "g" {
+				answers[i] = query.BatchAnswer{IsGroup: true, Groups: toBatchGroups(v.([]GroupRow)), Cached: true}
+			} else {
+				answers[i] = query.BatchAnswer{Count: v.(float64), Cached: true}
+			}
+			continue
+		}
+		answers[i].IsGroup = kind == "g"
+		misses = append(misses, miss{idx: i, key: key})
+	}
+
+	if len(misses) > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+		defer cancel()
+		_, herr := s.execute(ctx, func() (interface{}, error) {
+			for _, m := range misses {
+				it := items[m.idx]
+				if len(it.GroupBy) > 0 {
+					groups, err := ent.Estimator.EstimateGroupBy(it.GroupBy, it.Pred)
+					if err != nil {
+						answers[m.idx].Error = err.Error()
+						continue
+					}
+					rows := toGroupRows(groups)
+					s.cache.Put(m.key, rows)
+					answers[m.idx].Groups = toBatchGroups(rows)
+				} else {
+					count, err := ent.Estimator.EstimateCount(it.Pred)
+					if err != nil {
+						answers[m.idx].Error = err.Error()
+						continue
+					}
+					s.cache.Put(m.key, count)
+					answers[m.idx].Count = count
+				}
+			}
+			return nil, nil
+		})
+		if herr != nil {
+			// 503 (no slot) or 504 (timed out mid-batch): the whole batch
+			// fails — partial answers are not reported.
+			fail(herr)
+			return
+		}
+	}
+
+	if binaryResp {
+		var buf bytes.Buffer
+		if err := query.EncodeAnswers(&buf, ent.Name, answers); err != nil {
+			fail(&httpError{status: http.StatusInternalServerError, msg: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", BinaryBatchContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
+	resp := BatchQueryResponse{
+		Estimator: ent.Name,
+		Answers:   make([]BatchResult, len(answers)),
+		LatencyNS: s.opts.Now().Sub(start).Nanoseconds(),
+	}
+	for i, a := range answers {
+		resp.Answers[i] = BatchResult{
+			Count:   a.Count,
+			Groups:  toGroupRowsFromBatch(a.Groups),
+			IsGroup: a.IsGroup,
+			Cached:  a.Cached,
+			Error:   a.Error,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wantBinaryAnswers picks the response wire: an explicit Accept wins,
+// otherwise the response mirrors the request format.
+func wantBinaryAnswers(accept string, binaryReq bool) bool {
+	if strings.Contains(accept, BinaryBatchContentType) {
+		return true
+	}
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return binaryReq
+}
+
+// countingReader counts consumed body bytes for the bytes-per-query
+// histogram (Content-Length may be absent on chunked uploads).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func toBatchGroups(rows []GroupRow) []query.BatchGroup {
+	if rows == nil {
+		return nil
+	}
+	out := make([]query.BatchGroup, len(rows))
+	for i, g := range rows {
+		out[i] = query.BatchGroup{Values: g.Values, Estimate: g.Estimate}
+	}
+	return out
+}
+
+func toGroupRowsFromBatch(groups []query.BatchGroup) []GroupRow {
+	if groups == nil {
+		return nil
+	}
+	out := make([]GroupRow, len(groups))
+	for i, g := range groups {
+		out[i] = GroupRow{Values: g.Values, Estimate: g.Estimate}
+	}
+	return out
+}

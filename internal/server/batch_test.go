@@ -1,0 +1,426 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/solver"
+	"repro/internal/summary"
+)
+
+// toBatchItems converts a generated workload into batch items.
+func toBatchItems(workload []experiment.Query) []query.BatchItem {
+	items := make([]query.BatchItem, len(workload))
+	for i, q := range workload {
+		items[i] = query.BatchItem{Pred: q.Pred, GroupBy: q.GroupBy}
+	}
+	return items
+}
+
+// postBinaryBatch sends items as a binary frame and decodes the binary
+// answer frame.
+func postBinaryBatch(t *testing.T, url, estimator string, items []query.BatchItem) []query.BatchAnswer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := query.EncodeBatch(&buf, estimator, items); err != nil {
+		t.Fatalf("encode batch: %v", err)
+	}
+	resp, err := http.Post(url+"/query/batch", server.BinaryBatchContentType, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("POST /query/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(resp.Body)
+		t.Fatalf("binary batch: status %d: %s", resp.StatusCode, b.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != server.BinaryBatchContentType {
+		t.Fatalf("binary batch response Content-Type = %q", ct)
+	}
+	_, answers, err := query.DecodeAnswers(resp.Body)
+	if err != nil {
+		t.Fatalf("decode answers: %v", err)
+	}
+	return answers
+}
+
+// postJSONBatch sends items as a JSON body and normalizes the response
+// into the same answer shape as the binary wire.
+func postJSONBatch(t *testing.T, url, estimator string, items []query.BatchItem) []query.BatchAnswer {
+	t.Helper()
+	req := server.BatchQueryRequest{Estimator: estimator}
+	for _, it := range items {
+		req.Queries = append(req.Queries, server.BatchQueryItem{Predicate: it.Pred, GroupBy: it.GroupBy})
+	}
+	resp, body := postJSON(t, url+"/query/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json batch: status %d: %s", resp.StatusCode, body)
+	}
+	var br server.BatchQueryResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("decode json batch: %v", err)
+	}
+	answers := make([]query.BatchAnswer, len(br.Answers))
+	for i, a := range br.Answers {
+		answers[i] = query.BatchAnswer{
+			Count: a.Count, Cached: a.Cached, IsGroup: a.IsGroup, Error: a.Error,
+		}
+		for _, g := range a.Groups {
+			answers[i].Groups = append(answers[i].Groups, query.BatchGroup{Values: g.Values, Estimate: g.Estimate})
+		}
+	}
+	return answers
+}
+
+// sequentialAnswer runs one query through the single-query endpoints.
+func sequentialAnswer(t *testing.T, url, estimator string, it query.BatchItem) query.BatchAnswer {
+	t.Helper()
+	if len(it.GroupBy) > 0 {
+		resp, body := postJSON(t, url+"/groupby", server.GroupByRequest{
+			Estimator: estimator, Predicate: it.Pred, GroupBy: it.GroupBy,
+		})
+		if resp.StatusCode != http.StatusOK {
+			return query.BatchAnswer{IsGroup: true, Error: string(body)}
+		}
+		var gr server.GroupByResponse
+		if err := json.Unmarshal(body, &gr); err != nil {
+			t.Fatalf("decode groupby: %v", err)
+		}
+		a := query.BatchAnswer{IsGroup: true, Cached: gr.Cached}
+		for _, g := range gr.Groups {
+			a.Groups = append(a.Groups, query.BatchGroup{Values: g.Values, Estimate: g.Estimate})
+		}
+		return a
+	}
+	resp, body := postJSON(t, url+"/query", server.QueryRequest{Estimator: estimator, Predicate: it.Pred})
+	if resp.StatusCode != http.StatusOK {
+		return query.BatchAnswer{Error: string(body)}
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decode query: %v", err)
+	}
+	return query.BatchAnswer{Count: qr.Count, Cached: qr.Cached}
+}
+
+// sameAnswer compares two answers bit-for-bit (float64 payloads compared
+// by their IEEE bits), ignoring the cached flag.
+func sameAnswer(a, b query.BatchAnswer) bool {
+	if a.IsGroup != b.IsGroup || (a.Error == "") != (b.Error == "") {
+		return false
+	}
+	if math.Float64bits(a.Count) != math.Float64bits(b.Count) {
+		return false
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		if math.Float64bits(a.Groups[i].Estimate) != math.Float64bits(b.Groups[i].Estimate) {
+			return false
+		}
+		if len(a.Groups[i].Values) != len(b.Groups[i].Values) {
+			return false
+		}
+		for j := range a.Groups[i].Values {
+			if a.Groups[i].Values[j] != b.Groups[i].Values[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBatchEquivalence is the acceptance-criterion test: a batch (JSON and
+// binary wires, mixed cache hits and misses) must return bit-identical
+// answers to N sequential /query and /groupby calls.
+func TestBatchEquivalence(t *testing.T) {
+	ts, _, _ := newTestServer(t, server.Options{})
+	rng := rand.New(rand.NewSource(17))
+	workload := experiment.GenerateWorkload(experiment.SyntheticSchema(), 32, rng)
+	items := toBatchItems(workload)
+	const estimator = "demo/maxent"
+
+	// Warm the cache with the first half sequentially; the batch then mixes
+	// 16 hits with 16 misses.
+	want := make([]query.BatchAnswer, len(items))
+	for i := 0; i < len(items)/2; i++ {
+		want[i] = sequentialAnswer(t, ts.URL, estimator, items[i])
+	}
+
+	binary := postBinaryBatch(t, ts.URL, estimator, items)
+	if len(binary) != len(items) {
+		t.Fatalf("binary batch: %d answers, want %d", len(binary), len(items))
+	}
+	for i := 0; i < len(items)/2; i++ {
+		if !binary[i].Cached {
+			t.Errorf("item %d: sequentially warmed, but batch missed the cache", i)
+		}
+		if !sameAnswer(binary[i], want[i]) {
+			t.Errorf("item %d (%s): batch %+v != sequential %+v", i, workload[i].Name, binary[i], want[i])
+		}
+	}
+	// The second half were cache misses for the batch; the sequential twins
+	// afterwards must hit the cache the batch populated, with identical bits.
+	for i := len(items) / 2; i < len(items); i++ {
+		if binary[i].Cached {
+			t.Errorf("item %d: cold query reported cached in batch", i)
+		}
+		want[i] = sequentialAnswer(t, ts.URL, estimator, items[i])
+		if want[i].Error == "" && !want[i].Cached {
+			t.Errorf("item %d: batch-computed answer not served from cache sequentially", i)
+		}
+		if !sameAnswer(binary[i], want[i]) {
+			t.Errorf("item %d (%s): batch %+v != sequential %+v", i, workload[i].Name, binary[i], want[i])
+		}
+	}
+
+	// The JSON wire must agree with the binary wire, all cached now.
+	jsonAns := postJSONBatch(t, ts.URL, estimator, items)
+	if len(jsonAns) != len(items) {
+		t.Fatalf("json batch: %d answers, want %d", len(jsonAns), len(items))
+	}
+	for i := range items {
+		if !sameAnswer(jsonAns[i], binary[i]) {
+			t.Errorf("item %d: json %+v != binary %+v", i, jsonAns[i], binary[i])
+		}
+		if jsonAns[i].Error == "" && !jsonAns[i].Cached {
+			t.Errorf("item %d: fully warmed json batch missed the cache", i)
+		}
+	}
+
+	// /metrics must account the three batch calls and their shape.
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var m server.MetricsResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.BatchRequestsTotal != 2 || m.BatchQueriesTotal != 64 {
+		t.Fatalf("batch totals %d/%d, want 2 calls / 64 queries", m.BatchRequestsTotal, m.BatchQueriesTotal)
+	}
+	if m.BatchBinaryTotal != 1 || m.BatchJSONTotal != 1 {
+		t.Fatalf("wire split binary=%d json=%d, want 1/1", m.BatchBinaryTotal, m.BatchJSONTotal)
+	}
+	if len(m.BatchSizeHist) == 0 || len(m.BytesPerQueryHist) == 0 {
+		t.Fatalf("batch histograms missing: %+v", m.MetricsSnapshot)
+	}
+	if len(m.Cache.Shards) == 0 && m.Cache.Capacity > 0 {
+		t.Fatalf("per-shard cache stats missing: %+v", m.Cache)
+	}
+}
+
+// TestBatchAcrossGenerationSwap proves batch answers track a hot swap: the
+// same batch re-issued after an ingest-triggered refresh must match fresh
+// sequential answers of the new generation, not the stale cache.
+func TestBatchAcrossGenerationSwap(t *testing.T) {
+	ts, reg, _, _ := newLiveServer(t, 2000, server.LiveOptions{
+		Dataset: server.DatasetOptions{
+			Summary: summary.Options{Solver: solver.Options{MaxSweeps: 200}},
+		},
+		RefreshRows: 300,
+	})
+	rng := rand.New(rand.NewSource(23))
+	workload := experiment.GenerateWorkload(experiment.SyntheticSchema(), 16, rng)
+	items := toBatchItems(workload)
+	const estimator = "demo/maxent"
+
+	before := postBinaryBatch(t, ts.URL, estimator, items)
+
+	// Cross the refresh threshold: the estimator hot-swaps to generation 2.
+	resp, body := postJSON(t, ts.URL+"/ingest/demo", server.IngestRequest{Rows: syntheticRows(400, 3)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	var ir server.IngestResult
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Refreshed {
+		t.Fatalf("ingest did not refresh: %+v", ir)
+	}
+	if ent, ok := reg.Get(estimator); !ok || ent.Generation != 2 {
+		t.Fatalf("estimator generation after swap: %+v", ent)
+	}
+
+	after := postBinaryBatch(t, ts.URL, estimator, items)
+	changed := false
+	for i := range items {
+		if after[i].Cached {
+			t.Errorf("item %d: answer served from cache across a generation swap", i)
+		}
+		want := sequentialAnswer(t, ts.URL, estimator, items[i])
+		if !sameAnswer(after[i], want) {
+			t.Errorf("item %d (%s): post-swap batch %+v != sequential %+v", i, workload[i].Name, after[i], want)
+		}
+		if !sameAnswer(after[i], before[i]) {
+			changed = true
+		}
+	}
+	// 400 skewed rows on 2000 must move at least one of 16 answers; if none
+	// moved, the swap test proved nothing.
+	if !changed {
+		t.Error("no answer changed across the swap; refresh had no observable effect")
+	}
+}
+
+// TestBatchErrors covers batch-level rejections and per-query error
+// isolation.
+func TestBatchErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t, server.Options{MaxBatch: 8})
+
+	post := func(contentType, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query/batch", contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp, buf.String()
+	}
+
+	if resp, body := post("application/json", `{not json`); resp.StatusCode != 400 {
+		t.Errorf("bad json: status %d (%s)", resp.StatusCode, body)
+	}
+	if resp, body := post(server.BinaryBatchContentType, "garbage frame"); resp.StatusCode != 400 || !strings.Contains(body, "frame") {
+		t.Errorf("bad frame: status %d (%s)", resp.StatusCode, body)
+	}
+	if resp, body := post("application/json", `{"estimator":"demo/maxent","queries":[]}`); resp.StatusCode != 400 || !strings.Contains(body, "empty") {
+		t.Errorf("empty batch: status %d (%s)", resp.StatusCode, body)
+	}
+	if resp, body := post("application/json", `{"estimator":"nope","queries":[{}]}`); resp.StatusCode != 404 {
+		t.Errorf("unknown estimator: status %d (%s)", resp.StatusCode, body)
+	}
+	big := `{"estimator":"demo/maxent","queries":[` + strings.Repeat("{},", 8) + `{}]}`
+	if resp, body := post("application/json", big); resp.StatusCode != 400 || !strings.Contains(body, "exceeds") {
+		t.Errorf("oversized batch: status %d (%s)", resp.StatusCode, body)
+	}
+	if resp, err := http.Get(ts.URL + "/query/batch"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %v status %v, want 405", err, resp.StatusCode)
+	}
+
+	// A bad query mid-batch fails alone; its batchmates answer normally.
+	bad := `{"estimator":"demo/maxent","queries":[{},{"predicate":{"num_attrs":7}},{"group_by":[1,1]}]}`
+	resp, body := post("application/json", bad)
+	if resp.StatusCode != 200 {
+		t.Fatalf("mixed batch: status %d (%s)", resp.StatusCode, body)
+	}
+	var br server.BatchQueryResponse
+	if err := json.Unmarshal([]byte(body), &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Answers) != 3 {
+		t.Fatalf("%d answers, want 3", len(br.Answers))
+	}
+	if br.Answers[0].Error != "" || br.Answers[0].Count <= 0 {
+		t.Errorf("healthy query poisoned: %+v", br.Answers[0])
+	}
+	if !strings.Contains(br.Answers[1].Error, "num_attrs=7") {
+		t.Errorf("arity error missing: %+v", br.Answers[1])
+	}
+	if !strings.Contains(br.Answers[2].Error, "duplicate") {
+		t.Errorf("group_by error missing: %+v", br.Answers[2])
+	}
+
+	// Accept negotiation: a JSON request may ask for binary answers and a
+	// binary request for JSON answers.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query/batch",
+		strings.NewReader(`{"estimator":"demo/maxent","queries":[{}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", server.BinaryBatchContentType)
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if ct := hresp.Header.Get("Content-Type"); ct != server.BinaryBatchContentType {
+		t.Fatalf("Accept negotiation ignored: Content-Type %q", ct)
+	}
+	if _, answers, err := query.DecodeAnswers(hresp.Body); err != nil || len(answers) != 1 {
+		t.Fatalf("binary answers for json request: %d answers, err %v", len(answers), err)
+	}
+}
+
+func newBenchServer(b *testing.B, srv *server.Server) string {
+	b.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// BenchmarkBatchQueryLoopback measures the full batched binary path over
+// HTTP loopback — frame encode, POST, one admission, cached answers, frame
+// decode — with 32 queries per round trip. It is the CI-gated guard for
+// the serving-path optimizations.
+func BenchmarkBatchQueryLoopback(b *testing.B) {
+	reg := server.NewRegistry()
+	rel := experiment.SyntheticRelation(3000, rand.New(rand.NewSource(1)))
+	if _, err := server.BuildDataset(reg, "demo", rel, server.DatasetOptions{
+		Summary:    summary.Options{},
+		SampleRate: 0.05,
+	}); err != nil {
+		b.Fatalf("BuildDataset: %v", err)
+	}
+	srv := server.New(reg, server.Options{})
+	ts := newBenchServer(b, srv)
+
+	rng := rand.New(rand.NewSource(3))
+	workload := experiment.GenerateWorkload(experiment.SyntheticSchema(), 32, rng)
+	var frame bytes.Buffer
+	if err := query.EncodeBatch(&frame, "demo/maxent", toBatchItems(workload)); err != nil {
+		b.Fatal(err)
+	}
+	body := frame.Bytes()
+
+	post := func(client *http.Client) error {
+		resp, err := client.Post(ts+"/query/batch", server.BinaryBatchContentType, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		_, answers, err := query.DecodeAnswers(resp.Body)
+		if err == nil && len(answers) != 32 {
+			err = fmt.Errorf("%d answers", len(answers))
+		}
+		return err
+	}
+	// Warm the cache so the benchmark measures the wire, not the model.
+	if err := post(http.DefaultClient); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			if err := post(client); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	qps := float64(b.N) * 32 / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/s")
+}

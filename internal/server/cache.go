@@ -2,16 +2,30 @@ package server
 
 import (
 	"container/list"
+	"hash/maphash"
+	"runtime"
 	"strings"
 	"sync"
 )
 
-// Cache is a bounded LRU result cache with hit/miss accounting. Keys are
-// the canonical query strings of the server (estimator name + query kind +
-// predicate CanonicalKey), so two requests hit the same entry iff the
-// estimator would compute the identical answer. Values are stored as
-// returned — callers must not mutate cached group slices.
+// Cache is a bounded LRU result cache, hash-sharded so concurrent workers
+// never contend on a single mutex: keys are distributed over P =
+// GOMAXPROCS (rounded up to a power of two) independent LRU shards, each
+// with its own lock, capacity slice, and hit/miss accounting. Keys are
+// the canonical query strings of the server (estimator name + generation
+// + query kind + predicate CanonicalKey), so two requests hit the same
+// entry iff the estimator would compute the identical answer — and
+// because a key always lands on the same shard, the single-shard LRU
+// semantics (recency, eviction, refresh) are preserved per key. Values
+// are stored as returned — callers must not mutate cached group slices.
 type Cache struct {
+	shards []*cacheShard
+	mask   uint64
+	seed   maphash.Seed
+}
+
+// cacheShard is one independently locked LRU.
+type cacheShard struct {
 	mu            sync.Mutex
 	capacity      int
 	ll            *list.List // front = most recently used
@@ -26,75 +40,131 @@ type cacheEntry struct {
 	val interface{}
 }
 
-// NewCache returns an LRU cache bounded to capacity entries. A capacity
-// <= 0 disables caching: Get always misses and Put is a no-op.
+// NewCache returns an LRU cache bounded to capacity entries in total,
+// sharded GOMAXPROCS-wide. A capacity <= 0 disables caching: Get always
+// misses and Put is a no-op.
 func NewCache(capacity int) *Cache {
-	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-	}
+	return NewCacheSharded(capacity, runtime.GOMAXPROCS(0))
 }
 
-// Get returns the cached value for key and marks it most recently used.
+// NewCacheSharded is NewCache with an explicit shard count (rounded up to
+// a power of two), for tests and tuning. The total capacity is divided
+// evenly across shards, each shard receiving at least one entry.
+func NewCacheSharded(capacity, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	p := 1
+	for p < shards {
+		p <<= 1
+	}
+	c := &Cache{
+		shards: make([]*cacheShard, p),
+		mask:   uint64(p - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + p - 1) / p
+		if per < 1 {
+			per = 1
+		}
+	} else {
+		per = capacity // <= 0 disables every shard
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// shard maps a key to its home shard.
+func (c *Cache) shard(key string) *cacheShard {
+	return c.shards[maphash.String(c.seed, key)&c.mask]
+}
+
+// NumShards returns the shard count (a power of two).
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// Get returns the cached value for key and marks it most recently used in
+// its shard.
 func (c *Cache) Get(key string) (interface{}, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
+	s.hits++
+	s.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
 
 // Put inserts (or refreshes) the value under key, evicting the least
-// recently used entry when the cache is full.
+// recently used entry of the key's shard when that shard is full.
 func (c *Cache) Put(key string, val interface{}) {
-	if c.capacity <= 0 {
+	s := c.shard(key)
+	if s.capacity <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		el.Value.(*cacheEntry).val = val
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		s.evictions++
 	}
 }
 
 // InvalidatePrefix removes every entry whose key starts with prefix and
-// returns how many were dropped. The serving layer calls it after an
-// estimator hot-swap to reclaim the replaced generation's results —
-// correctness does not depend on it (cache keys embed the entry
+// returns how many were dropped, fanning out across all shards (a prefix
+// spans shards — only full keys hash to a home). The serving layer calls
+// it after an estimator hot-swap to reclaim the replaced generation's
+// results — correctness does not depend on it (cache keys embed the entry
 // generation), it just stops dead entries from occupying LRU capacity
-// until they age out. Cost is O(entries), acceptable at the cache sizes
-// the server runs (thousands).
+// until they age out. Cost is O(total entries), acceptable at the cache
+// sizes the server runs (thousands).
 func (c *Cache) InvalidatePrefix(prefix string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	dropped := 0
-	for key, el := range c.items {
-		if strings.HasPrefix(key, prefix) {
-			c.ll.Remove(el)
-			delete(c.items, key)
-			dropped++
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, el := range s.items {
+			if strings.HasPrefix(key, prefix) {
+				s.ll.Remove(el)
+				delete(s.items, key)
+				dropped++
+				s.invalidations++
+			}
 		}
+		s.mu.Unlock()
 	}
-	c.invalidations += uint64(dropped)
 	return dropped
 }
 
-// CacheStats is the accounting snapshot exposed on /metrics.
+// CacheShardStats is the per-shard accounting on /metrics; it shows how
+// evenly keys spread and whether any one shard's lock is hot.
+type CacheShardStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// CacheStats is the accounting snapshot exposed on /metrics: totals
+// aggregated across shards plus the per-shard breakdown.
 type CacheStats struct {
 	Capacity      int     `json:"capacity"`
 	Entries       int     `json:"entries"`
@@ -103,22 +173,43 @@ type CacheStats struct {
 	Evictions     uint64  `json:"evictions"`
 	Invalidations uint64  `json:"invalidations"`
 	HitRatio      float64 `json:"hit_ratio"`
+	// Shards is the per-shard breakdown, index = shard number.
+	Shards []CacheShardStats `json:"shards,omitempty"`
 }
 
-// Stats returns a consistent snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. Each shard is
+// snapshotted under its own lock; the aggregate is consistent per shard
+// (not across shards, which concurrent traffic makes meaningless anyway).
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := CacheStats{
-		Capacity:      c.capacity,
-		Entries:       c.ll.Len(),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
+	out := CacheStats{Shards: make([]CacheShardStats, len(c.shards))}
+	disabled := false
+	for i, s := range c.shards {
+		s.mu.Lock()
+		ss := CacheShardStats{
+			Entries:   s.ll.Len(),
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+		}
+		if s.capacity > 0 {
+			out.Capacity += s.capacity
+		} else {
+			disabled = true
+		}
+		out.Invalidations += s.invalidations
+		s.mu.Unlock()
+		out.Shards[i] = ss
+		out.Entries += ss.Entries
+		out.Hits += ss.Hits
+		out.Misses += ss.Misses
+		out.Evictions += ss.Evictions
 	}
-	if total := s.Hits + s.Misses; total > 0 {
-		s.HitRatio = float64(s.Hits) / float64(total)
+	if disabled {
+		out.Capacity = c.shards[0].capacity // preserve the disabled marker
+		out.Shards = nil
 	}
-	return s
+	if total := out.Hits + out.Misses; total > 0 {
+		out.HitRatio = float64(out.Hits) / float64(total)
+	}
+	return out
 }

@@ -31,6 +31,9 @@ type Options struct {
 	CacheSize int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxBatch bounds how many queries one POST /query/batch call may
+	// carry (default 1024, hard cap query.MaxBatchItems).
+	MaxBatch int
 	// Store, when non-nil, backs the snapshot admin endpoints
 	// (GET /snapshots, POST /snapshots/{dataset}); nil serves 501 on them.
 	Store *store.Store
@@ -50,6 +53,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBatch > query.MaxBatchItems {
+		o.MaxBatch = query.MaxBatchItems
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -85,6 +94,7 @@ func New(reg *Registry, opts Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/batch", s.handleBatch)
 	s.mux.HandleFunc("/groupby", s.handleGroupBy)
 	s.mux.HandleFunc("/estimators", s.handleEstimators)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -469,10 +479,22 @@ func (s *Server) admitQuery(estimator, kind string, pred *query.Predicate, group
 	if !ok {
 		return Entry{}, "", &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown estimator %q", estimator)}
 	}
+	key, err := queryKey(ent, kind, pred, groupBy)
+	if err != nil {
+		return Entry{}, "", err
+	}
+	return ent, key, nil
+}
+
+// queryKey validates the query shape against the entry's schema and builds
+// the canonical cache key. It is shared by the single-query and batch
+// paths, so a batched query and its sequential twin always hit the same
+// cache entry.
+func queryKey(ent Entry, kind string, pred *query.Predicate, groupBy []int) (string, error) {
 	numAttrs := ent.Schema.NumAttrs()
 	if pred != nil && pred.NumAttrs() != numAttrs {
-		return Entry{}, "", badRequest("predicate has num_attrs=%d, estimator %q answers over %d attributes",
-			pred.NumAttrs(), estimator, numAttrs)
+		return "", badRequest("predicate has num_attrs=%d, estimator %q answers over %d attributes",
+			pred.NumAttrs(), ent.Name, numAttrs)
 	}
 	// The entry generation is part of the key, so answers cached before a
 	// hot swap can never be served afterwards — even if an in-flight query
@@ -481,15 +503,15 @@ func (s *Server) admitQuery(estimator, kind string, pred *query.Predicate, group
 	key := fmt.Sprintf("%s\x00v%d\x00%s", ent.Name, ent.Generation, kind)
 	if kind == "g" {
 		if len(groupBy) == 0 || len(groupBy) > 4 {
-			return Entry{}, "", badRequest("group_by needs 1..4 attributes, got %d", len(groupBy))
+			return "", badRequest("group_by needs 1..4 attributes, got %d", len(groupBy))
 		}
 		seen := make(map[int]bool, len(groupBy))
 		for _, a := range groupBy {
 			if a < 0 || a >= numAttrs {
-				return Entry{}, "", badRequest("group_by attribute %d out of range [0,%d)", a, numAttrs)
+				return "", badRequest("group_by attribute %d out of range [0,%d)", a, numAttrs)
 			}
 			if seen[a] {
-				return Entry{}, "", badRequest("duplicate group_by attribute %d", a)
+				return "", badRequest("duplicate group_by attribute %d", a)
 			}
 			seen[a] = true
 			key += fmt.Sprintf(",%d", a)
@@ -499,7 +521,7 @@ func (s *Server) admitQuery(estimator, kind string, pred *query.Predicate, group
 	if pred != nil {
 		key += pred.CanonicalKey()
 	}
-	return ent, key, nil
+	return key, nil
 }
 
 // execute runs fn on the bounded worker pool under ctx: it queues for a

@@ -128,6 +128,7 @@ func (s *Summary) Refresh(full, delta *relation.Relation, opts RefreshOptions) (
 
 	sopts := opts.Solver
 	sopts.N = float64(set.N)
+	autoWorkers(&sopts, len(s.pairs))
 	if !info.Rebuilt {
 		sopts.Init = s.sys
 	}

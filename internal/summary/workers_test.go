@@ -1,0 +1,33 @@
+package summary
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// TestAutoWorkers pins the auto-enable rule: an unset Workers turns the
+// derivative pool on exactly at B_a >= autoWorkersPairs, and an explicit
+// choice (including 1 for "stay sequential") is never overridden.
+func TestAutoWorkers(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		pairs   int
+		want    int
+	}{
+		{"unset small instance", 0, autoWorkersPairs - 1, 0},
+		{"unset at threshold", 0, autoWorkersPairs, runtime.GOMAXPROCS(0)},
+		{"unset above threshold", 0, autoWorkersPairs + 4, runtime.GOMAXPROCS(0)},
+		{"explicit sequential", 1, autoWorkersPairs + 4, 1},
+		{"explicit pool", 3, 1, 3},
+	}
+	for _, tc := range cases {
+		opts := solver.Options{Workers: tc.workers}
+		autoWorkers(&opts, tc.pairs)
+		if opts.Workers != tc.want {
+			t.Errorf("%s: Workers = %d, want %d", tc.name, opts.Workers, tc.want)
+		}
+	}
+}
