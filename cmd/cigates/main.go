@@ -2,7 +2,7 @@
 //
 // Benchmark regression gate (fails on >30% geomean slowdown by default):
 //
-//	go test ./internal/polynomial ./internal/solver -bench . -run '^$' > current.txt
+//	go test ./internal/polynomial ./internal/solver ./internal/server -bench . -run '^$' > current.txt
 //	go run ./cmd/cigates bench -baseline BENCH_baseline.txt -current current.txt
 //
 // Golden accuracy gate (fails on any deterministic-field drift > 1e-9):
@@ -12,7 +12,7 @@
 //
 // Refresh the baselines after an intentional change with:
 //
-//	go test ./internal/polynomial ./internal/solver -bench . -run '^$' | tee BENCH_baseline.txt
+//	go test ./internal/polynomial ./internal/solver ./internal/server -bench . -run '^$' | tee BENCH_baseline.txt
 //	go run ./cmd/experiment -seed 1 > testdata/golden_report.json
 package main
 

@@ -10,8 +10,8 @@ import (
 // benchSystem builds a realistically shaped system: 6 attributes with
 // domain sizes up to 64 and 16 pairwise 2D statistics over three
 // attribute pairs — the shape a B_a=3, B_s=16 summary produces.
-func benchSystem(b *testing.B) (*System, *query.Predicate) {
-	b.Helper()
+func benchSystem(tb testing.TB) (*System, *query.Predicate) {
+	tb.Helper()
 	sizes := []int{64, 32, 16, 8, 8, 4}
 	rng := rand.New(rand.NewSource(31))
 	var specs []MultiStatSpec
@@ -30,7 +30,7 @@ func benchSystem(b *testing.B) (*System, *query.Predicate) {
 	}
 	comp, err := NewCompressed(sizes, specs)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	sys := NewSystem(comp)
 	for _, ref := range sys.Variables() {
@@ -60,6 +60,82 @@ func BenchmarkSystemEvalMasked(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = sys.Eval(pred)
+	}
+}
+
+// selectivePreds are the predicate shapes of the pruned-eval benchmarks:
+// real workloads mostly constrain 1–2 attributes, and the pruned path's
+// win grows with the fraction of terms the constrained set leaves
+// untouched. The all-attr variant is the adversarial shape where nearly
+// every term is touched and the delta bookkeeping buys nothing.
+func selectivePreds(m int) map[string]*query.Predicate {
+	return map[string]*query.Predicate{
+		// One stat-bearing attribute, equality mask (the canonical
+		// "how many tuples have A=v" query).
+		"1attr": query.NewPredicate(m).WhereEq(1, 7),
+		// One attribute, but the hottest one (attr 0 occurs in two of the
+		// three statistic pairs) with a wide range mask.
+		"1attrHot": query.NewPredicate(m).WhereRange(0, 4, 40),
+		// Two attributes from one statistic pair.
+		"2attr": query.NewPredicate(m).WhereEq(2, 3).WhereIn(4, 0, 2, 5),
+		// Every attribute constrained: the touched set is the whole
+		// polynomial.
+		"allattr": query.NewPredicate(m).
+			WhereRange(0, 4, 40).
+			WhereRange(1, 0, 15).
+			WhereEq(2, 3).
+			WhereRange(3, 1, 6).
+			WhereIn(4, 0, 2, 5).
+			WhereEq(5, 1),
+	}
+}
+
+var selectiveOrder = []string{"1attr", "1attrHot", "2attr", "allattr"}
+
+// BenchmarkSystemEvalMaskedSelective measures the pruned masked
+// evaluation across predicate selectivities; the FullWalk twin below runs
+// the identical predicates through the pre-index reference walk, so the
+// ratio between the two is the pruning win per shape.
+func BenchmarkSystemEvalMaskedSelective(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	preds := selectivePreds(sys.Poly().NumAttrs())
+	for _, name := range selectiveOrder {
+		pred := preds[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = sys.Eval(pred)
+			}
+		})
+	}
+}
+
+func BenchmarkSystemEvalMaskedFullWalk(b *testing.B) {
+	sys, _ := benchSystem(b)
+	sys.Eval(nil)
+	preds := selectivePreds(sys.Poly().NumAttrs())
+	for _, name := range selectiveOrder {
+		pred := preds[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = fullWalkEval(sys, pred)
+			}
+		})
+	}
+}
+
+// BenchmarkSystemDerivMultiMasked measures the pruned masked statistic
+// derivative (the conditioned-refresh shape).
+func BenchmarkSystemDerivMultiMasked(b *testing.B) {
+	sys, pred := benchSystem(b)
+	sys.Eval(nil)
+	ref := VarRef{Kind: Multi, Stat: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Deriv(ref, pred)
 	}
 }
 

@@ -140,6 +140,25 @@ type Compressed struct {
 	// statTerms[j] lists the indexes of the terms whose statistic set S
 	// contains j — the terms carrying a (δ_j − 1) factor.
 	statTerms [][]int32
+	// constrained[a] lists (in term order) the indexes of the terms whose
+	// attribute set I contains a — the complement of loose[a], and the
+	// per-attribute half of the attribute→term index behind the pruned
+	// masked evaluation: a predicate constraining attribute set S can only
+	// change the *range-restricted* factors of terms in ∪_{a∈S}
+	// constrained[a]; every other term keeps its cached unmasked range
+	// factors and is answered by the mask-delta identity without being
+	// visited. conRanges[a] is aligned with constrained[a] and carries the
+	// term's effective range ρ_iS on a, so InRange masks can reject terms
+	// whose buckets provably miss the mask with one interval test and no
+	// term-struct dereference.
+	constrained [][]int32
+	conRanges   [][]query.Range
+	// attrBits[i] is the bitmask of term i's attribute set I (bit a set
+	// iff a ∈ terms[i].attrs). It makes the touched(S) membership test and
+	// the first-constrained-attribute dedup of the union iterator O(1).
+	// nil when the schema has more than 64 attributes, which disables the
+	// pruned masked paths (they fall back to the full walk).
+	attrBits []uint64
 }
 
 // NewCompressed builds the compressed polynomial for the given active-domain
@@ -226,6 +245,11 @@ func (c *Compressed) buildIndexes() {
 		c.touch[a] = make([][]int32, n)
 	}
 	c.statTerms = make([][]int32, len(c.specs))
+	c.constrained = make([][]int32, len(c.sizes))
+	c.conRanges = make([][]query.Range, len(c.sizes))
+	if len(c.sizes) <= 64 {
+		c.attrBits = make([]uint64, len(c.terms))
+	}
 	for i, t := range c.terms {
 		k := 0
 		for a := range c.sizes {
@@ -234,6 +258,11 @@ func (c *Compressed) buildIndexes() {
 				k++
 				for v := r.Lo; v <= r.Hi; v++ {
 					c.touch[a][v] = append(c.touch[a][v], int32(i))
+				}
+				c.constrained[a] = append(c.constrained[a], int32(i))
+				c.conRanges[a] = append(c.conRanges[a], r)
+				if c.attrBits != nil {
+					c.attrBits[i] |= 1 << uint(a)
 				}
 				continue
 			}
@@ -295,6 +324,13 @@ func (c *Compressed) MultiStat(j int) MultiStatSpec { return c.specs[j] }
 // NumTerms returns the number of terms of the compressed representation
 // (including the base term).
 func (c *Compressed) NumTerms() int { return len(c.terms) }
+
+// PrunedIndexed reports whether the attribute→term pruning index is
+// available, i.e. whether masked evaluation can take the term-pruned
+// delta path (polynomials over more than 64 attributes fall back to the
+// full walk). Every construction path — including codec restore, which
+// rebuilds the polynomial via NewCompressed — populates the index.
+func (c *Compressed) PrunedIndexed() bool { return c.attrBits != nil }
 
 // SizeReport summarizes the memory shape of the representation, mirroring
 // the size analysis of Sec. 4.1.

@@ -3,6 +3,7 @@ package polynomial
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/query"
@@ -46,10 +47,21 @@ type System struct {
 	total   float64
 	updates int // SetVar count since the last full rebuild
 
-	// consPool recycles the per-call constraint scratch of masked
-	// Eval/Deriv so the hot path is allocation-free yet still safe for
-	// concurrent read-only use.
-	consPool sync.Pool
+	// scratchPool recycles the per-call scratch of masked Eval/Deriv so
+	// the hot path is allocation-free yet still safe for concurrent
+	// read-only use.
+	scratchPool sync.Pool
+}
+
+// evalScratch is the pooled per-call state of the masked Eval/Deriv paths:
+// the per-attribute constraint snapshot, the constrained attribute set S,
+// the masked full-domain sums M_a, and a backing buffer for canonicalizing
+// InSet value lists that arrive unsorted.
+type evalScratch struct {
+	cons    []query.Constraint
+	attrs   []int     // constrained attribute indexes, ascending
+	maskedF []float64 // per attribute: masked full-domain sum M_a (set for attrs)
+	vals    []int     // backing storage for canonicalized InSet values
 }
 
 // NewSystem creates a System over the polynomial with every variable
@@ -88,9 +100,12 @@ func newSystemShell(poly *Compressed) *System {
 	}
 	s.nz = make([]float64, len(poly.terms))
 	s.zeros = make([]int, len(poly.terms))
-	s.consPool.New = func() any {
-		buf := make([]query.Constraint, m)
-		return &buf
+	s.scratchPool.New = func() any {
+		return &evalScratch{
+			cons:    make([]query.Constraint, m),
+			attrs:   make([]int, 0, m),
+			maskedF: make([]float64, m),
+		}
 	}
 	return s
 }
@@ -341,10 +356,24 @@ func (s *System) maskedSum(attr int, r query.Range, c query.Constraint) float64 
 	case query.InRange:
 		return s.rangeSum(attr, r.Intersect(c.Range))
 	case query.InSet:
-		sum := 0.0
+		// Values are canonical here (ascending, deduplicated, clipped to
+		// the domain — getScratch guarantees it), so the scan can clip the
+		// range once and stop at the first value past it instead of
+		// bounds-testing every listed value for every term factor.
 		col := s.alpha[attr]
+		lo, hi := r.Lo, r.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(col) {
+			hi = len(col) - 1
+		}
+		sum := 0.0
 		for _, v := range c.Values {
-			if v >= 0 && v < len(col) && r.Contains(v) {
+			if v > hi {
+				break
+			}
+			if v >= lo {
 				sum += col[v]
 			}
 		}
@@ -365,18 +394,62 @@ func constraintFor(pred *query.Predicate, attr int) query.Constraint {
 	return pred.Constraint(attr)
 }
 
-// getCons fills a pooled constraint scratch buffer with the predicate's
-// per-attribute constraints. Callers must return it with putCons.
-func (s *System) getCons(pred *query.Predicate) *[]query.Constraint {
-	consp := s.consPool.Get().(*[]query.Constraint)
-	cons := *consp
-	for a := range cons {
-		cons[a] = constraintFor(pred, a)
+// getScratch fills a pooled scratch with the predicate's per-attribute
+// constraints (InSet value lists canonicalized once per call, not per term
+// factor) and the constrained attribute set S. Callers must return it with
+// putScratch.
+func (s *System) getScratch(pred *query.Predicate) *evalScratch {
+	sc := s.scratchPool.Get().(*evalScratch)
+	sc.attrs = sc.attrs[:0]
+	sc.vals = sc.vals[:0]
+	for a := range sc.cons {
+		c := constraintFor(pred, a)
+		if c.Kind == query.InSet {
+			c.Values = sc.canonValues(c.Values, len(s.alpha[a]))
+		}
+		sc.cons[a] = c
+		if c.Kind != query.Any {
+			sc.attrs = append(sc.attrs, a)
+		}
 	}
-	return consp
+	return sc
 }
 
-func (s *System) putCons(consp *[]query.Constraint) { s.consPool.Put(consp) }
+// canonValues returns the value list sorted, deduplicated, and clipped to
+// the domain [0, n). Predicates built by query.ValueSet (the JSON and
+// binary decoders, WhereIn) are already sorted and deduplicated, so the
+// common case only trims the out-of-domain ends; genuinely unsorted lists
+// are canonicalized into the scratch's backing buffer, never by mutating
+// the caller's predicate.
+func (sc *evalScratch) canonValues(vals []int, n int) []int {
+	canonical := true
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			canonical = false
+			break
+		}
+	}
+	if !canonical {
+		start := len(sc.vals)
+		sc.vals = append(sc.vals, vals...)
+		seg := sc.vals[start:]
+		sort.Ints(seg)
+		k := 0
+		for i, v := range seg {
+			if i > 0 && v == seg[k-1] {
+				continue
+			}
+			seg[k] = v
+			k++
+		}
+		vals = seg[:k]
+	}
+	lo := sort.SearchInts(vals, 0)
+	hi := sort.SearchInts(vals, n)
+	return vals[lo:hi]
+}
+
+func (s *System) putScratch(sc *evalScratch) { s.scratchPool.Put(sc) }
 
 // Total returns the incrementally maintained full polynomial value P in
 // O(1), without flushing the prefix caches — the solver's hot-path
@@ -388,6 +461,11 @@ func (s *System) Total() float64 { return s.total }
 // predicate's per-attribute constraint set to 0 (Sec. 4.2). A nil predicate
 // returns the incrementally maintained full polynomial value P after
 // flushing the prefix caches (use Total for the flush-free O(1) read).
+//
+// Masked evaluation is answered through the attribute→term index in
+// O(terms touching the constrained attribute set S) via the mask-delta
+// identity (see evalPruned) instead of walking every term; evalFullWalk
+// remains the fallback for the shapes the index cannot cover.
 func (s *System) Eval(pred *query.Predicate) float64 {
 	if pred == nil {
 		// Flush the prefix caches even though the cached total does not
@@ -397,14 +475,191 @@ func (s *System) Eval(pred *query.Predicate) float64 {
 		return s.total
 	}
 	s.refreshAll()
-	consp := s.getCons(pred)
+	sc := s.getScratch(pred)
+	defer s.putScratch(sc)
+	if v, ok := s.evalPruned(sc); ok {
+		return v
+	}
+	return s.evalFullWalk(sc.cons)
+}
+
+// evalFullWalk is the pre-index reference implementation of masked
+// evaluation: every term re-derives its full product under the
+// constraints. It is the fallback when the pruned path cannot run (more
+// than 64 attributes, a zero or non-finite full-domain sum) and the oracle
+// the randomized pruned-vs-naive equivalence tests compare against.
+func (s *System) evalFullWalk(cons []query.Constraint) float64 {
 	total := 0.0
 	for _, t := range s.poly.terms {
-		total += s.evalTerm(t, *consp)
+		total += s.evalTerm(t, cons)
 	}
-	s.putCons(consp)
 	return total
 }
+
+// evalPruned answers masked evaluation through the attribute→term index.
+//
+// For a predicate constraining attribute set S, a term whose attribute set
+// I is disjoint from S keeps every cached range factor except that each
+// a ∈ S contributes the masked full-domain sum M_a in place of the
+// unmasked full-domain sum F_a — its masked value is its cached unmasked
+// value times scale = Π_{a∈S} M_a/F_a. Summing over all terms:
+//
+//	Eval(pred) = scale·(total − Σ_{t∈touched(S)} value(t)) + Σ_{t∈touched(S)} masked(t)
+//
+// with touched(S) = { t : I(t) ∩ S ≠ ∅ } = ∪_{a∈S} constrained[a], so the
+// walk visits O(touched(S)) terms instead of all of them. Within the
+// touched set, interval pruning skips the masked-value computation for
+// terms whose bucket range on the iterated attribute provably misses an
+// InRange mask (their masked value is exactly 0); their cached value is
+// still subtracted, as the identity requires.
+//
+// The second return reports whether the pruned path was applicable; when
+// false the caller must fall back to evalFullWalk.
+func (s *System) evalPruned(sc *evalScratch) (float64, bool) {
+	p := s.poly
+	if p.attrBits == nil || !isFinite(s.total) {
+		return 0, false
+	}
+	if len(sc.attrs) == 0 {
+		// No constrained attribute: the mask is a no-op.
+		return s.total, true
+	}
+	scale := 1.0
+	var sMask uint64
+	for _, a := range sc.attrs {
+		full := fullRange(len(s.alpha[a]))
+		f := s.rangeSum(a, full)
+		if f == 0 {
+			return 0, false
+		}
+		m := s.maskedSum(a, full, sc.cons[a])
+		sc.maskedF[a] = m
+		scale *= m / f
+		sMask |= 1 << uint(a)
+	}
+	if !isFinite(scale) {
+		return 0, false
+	}
+	total := scale * s.total
+	nzs, zeros, bits := s.nz, s.zeros, p.attrBits
+	for _, a := range sc.attrs {
+		aBit := uint64(1) << uint(a)
+		below := aBit - 1
+		consA := sc.cons[a]
+		var pruneRange query.Range
+		prune := false
+		var pruneSet []int
+		switch consA.Kind {
+		case query.InRange:
+			prune, pruneRange = true, consA.Range
+		case query.InSet:
+			pruneSet = consA.Values
+		}
+		conR := p.conRanges[a]
+		for idx, ti := range p.constrained[a] {
+			i := int(ti)
+			if bits[i]&sMask&below != 0 {
+				// The term is also constrained on a lower attribute of S;
+				// it was already processed there.
+				continue
+			}
+			z := zeros[i]
+			if z == 0 {
+				total -= scale * nzs[i]
+			}
+			// Interval pruning: when the term's bucket range on a provably
+			// misses the mask its masked value is exactly 0, so only the
+			// subtraction above applies and the term is never dereferenced.
+			if prune {
+				if !conR[idx].Overlaps(pruneRange) {
+					continue
+				}
+			} else if pruneSet != nil && !setIntersects(pruneSet, conR[idx]) {
+				continue
+			}
+			val, z := s.maskedFactorSwap(i, -1, sc, nzs[i], z)
+			if z == 0 {
+				total += val
+			}
+		}
+	}
+	return total, true
+}
+
+// setIntersects reports whether the ascending value list has an element in
+// the (non-empty, in-domain) range.
+func setIntersects(vals []int, r query.Range) bool {
+	j := sort.SearchInts(vals, r.Lo)
+	return j < len(vals) && vals[j] <= r.Hi
+}
+
+// maskedFactorSwap replaces, in the running (value, zero-count) product
+// state of term i, each constrained attribute's cached factor with its
+// masked counterpart — the term-local analogue of replaceFactor, without
+// writing the caches. The factor of attribute skip (pass -1 for none) is
+// left untouched; derivative paths use it for the differentiated
+// attribute, whose factor they remove separately.
+func (s *System) maskedFactorSwap(i, skip int, sc *evalScratch, val float64, z int) (float64, int) {
+	t := &s.poly.terms[i]
+	fac := s.fac[i]
+	k := 0
+	if z == 0 {
+		// Fast path: no cached factor is zero, so every fOld divides
+		// cleanly and the first zero masked factor decides the term.
+		for _, a := range sc.attrs {
+			if a == skip {
+				continue
+			}
+			for k < len(t.attrs) && t.attrs[k] < a {
+				k++
+			}
+			var fNew float64
+			if k < len(t.attrs) && t.attrs[k] == a {
+				fNew = s.maskedSum(a, t.ranges[k], sc.cons[a])
+			} else {
+				fNew = sc.maskedF[a]
+			}
+			if fNew == 0 {
+				return 0, 1
+			}
+			if fOld := fac[a]; fOld != fNew {
+				val = val / fOld * fNew
+			}
+		}
+		return val, 0
+	}
+	for _, a := range sc.attrs {
+		if a == skip {
+			continue
+		}
+		for k < len(t.attrs) && t.attrs[k] < a {
+			k++
+		}
+		fOld := fac[a]
+		var fNew float64
+		if k < len(t.attrs) && t.attrs[k] == a {
+			fNew = s.maskedSum(a, t.ranges[k], sc.cons[a])
+		} else {
+			fNew = sc.maskedF[a]
+		}
+		if fOld == fNew {
+			continue
+		}
+		if fOld == 0 {
+			z--
+		} else {
+			val /= fOld
+		}
+		if fNew == 0 {
+			z++
+		} else {
+			val *= fNew
+		}
+	}
+	return val, z
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // evalTerm computes one summand under the per-attribute constraints.
 func (s *System) evalTerm(t term, cons []query.Constraint) float64 {
@@ -447,13 +702,19 @@ func (s *System) Deriv(ref VarRef, pred *query.Predicate) float64 {
 		}
 	}
 	s.refreshAll()
-	consp := s.getCons(pred)
-	defer s.putCons(consp)
+	sc := s.getScratch(pred)
+	defer s.putScratch(sc)
 	switch ref.Kind {
 	case OneD:
-		return s.derivOneD(ref.Attr, ref.Value, *consp)
+		if v, ok := s.derivOneDPruned(ref.Attr, ref.Value, sc); ok {
+			return v
+		}
+		return s.derivOneD(ref.Attr, ref.Value, sc.cons)
 	case Multi:
-		return s.derivMulti(ref.Stat, *consp)
+		if v, ok := s.derivMultiPruned(ref.Stat, sc); ok {
+			return v
+		}
+		return s.derivMulti(ref.Stat, sc.cons)
 	default:
 		panic(fmt.Sprintf("polynomial: unknown variable kind %d", ref.Kind))
 	}
@@ -500,6 +761,134 @@ func (s *System) derivMultiCached(stat int) float64 {
 	return total
 }
 
+// derivOneDPruned computes ∂(masked P)/∂α_{attr,value} as a delta over the
+// cached derivative structure: exactly the terms whose effective range on
+// attr contains the value occur (touch[attr][value] ∪ loose[attr], the
+// same set the cached unmasked derivative walks), the differentiated
+// attribute's factor becomes the indicator that the value satisfies the
+// mask, and within each term only the factors of the other constrained
+// attributes differ from the caches. Terms disjoint from S \ {attr} reuse
+// exceptFactor rescaled by Π_{a∈S\{attr}} M_a/F_a; the rest swap factors
+// term-locally. The second return reports applicability, as in evalPruned.
+func (s *System) derivOneDPruned(attr, value int, sc *evalScratch) (float64, bool) {
+	p := s.poly
+	if p.attrBits == nil {
+		return 0, false
+	}
+	if !sc.cons[attr].Matches(value) {
+		// The mask excludes the value: the variable does not occur in the
+		// masked polynomial at all.
+		return 0, true
+	}
+	if len(sc.attrs) == 0 {
+		return s.derivOneDCached(attr, value), true
+	}
+	scaleExcl := 1.0
+	var sMask uint64
+	for _, a := range sc.attrs {
+		if a == attr {
+			continue
+		}
+		full := fullRange(len(s.alpha[a]))
+		f := s.rangeSum(a, full)
+		if f == 0 {
+			return 0, false
+		}
+		m := s.maskedSum(a, full, sc.cons[a])
+		sc.maskedF[a] = m
+		scaleExcl *= m / f
+		sMask |= 1 << uint(a)
+	}
+	if !isFinite(scaleExcl) {
+		return 0, false
+	}
+	total := 0.0
+	for _, ti := range p.touch[attr][value] {
+		total += s.maskedExceptAttr(int(ti), attr, sc, sMask, scaleExcl)
+	}
+	for _, ti := range p.loose[attr] {
+		total += s.maskedExceptAttr(int(ti), attr, sc, sMask, scaleExcl)
+	}
+	return total, true
+}
+
+// maskedExceptAttr returns term i's masked product of all factors except
+// the attribute attr's one (already known to admit the differentiated
+// value). sMask/scaleExcl describe the constrained attributes minus attr.
+func (s *System) maskedExceptAttr(i, attr int, sc *evalScratch, sMask uint64, scaleExcl float64) float64 {
+	if s.poly.attrBits[i]&sMask == 0 {
+		// The term constrains no masked attribute besides possibly attr:
+		// its remaining factors are the cached ones with every a ∈ S\{attr}
+		// full-domain factor F_a replaced by M_a — a pure rescale.
+		return scaleExcl * s.exceptFactor(i, s.fac[i][attr])
+	}
+	val, z := s.nz[i], s.zeros[i]
+	if f := s.fac[i][attr]; f == 0 {
+		z--
+	} else {
+		val /= f
+	}
+	val, z = s.maskedFactorSwap(i, attr, sc, val, z)
+	if z != 0 {
+		return 0
+	}
+	return val
+}
+
+// derivMultiPruned computes ∂(masked P)/∂δ_stat over statTerms[stat] using
+// the cached factor products: the (δ_stat − 1) factor is removed
+// term-locally and only the constrained attributes' factors are swapped
+// for their masked counterparts; terms disjoint from S reuse exceptFactor
+// rescaled by Π_{a∈S} M_a/F_a. The second return reports applicability.
+func (s *System) derivMultiPruned(stat int, sc *evalScratch) (float64, bool) {
+	p := s.poly
+	if p.attrBits == nil {
+		return 0, false
+	}
+	if len(sc.attrs) == 0 {
+		return s.derivMultiCached(stat), true
+	}
+	scale := 1.0
+	var sMask uint64
+	for _, a := range sc.attrs {
+		full := fullRange(len(s.alpha[a]))
+		f := s.rangeSum(a, full)
+		if f == 0 {
+			return 0, false
+		}
+		m := s.maskedSum(a, full, sc.cons[a])
+		sc.maskedF[a] = m
+		scale *= m / f
+		sMask |= 1 << uint(a)
+	}
+	if !isFinite(scale) {
+		return 0, false
+	}
+	d := s.delta[stat] - 1
+	total := 0.0
+	for _, ti := range p.statTerms[stat] {
+		i := int(ti)
+		if p.attrBits[i]&sMask == 0 {
+			total += scale * s.exceptFactor(i, d)
+			continue
+		}
+		val, z := s.nz[i], s.zeros[i]
+		if d == 0 {
+			z--
+		} else {
+			val /= d
+		}
+		val, z = s.maskedFactorSwap(i, -1, sc, val, z)
+		if z == 0 {
+			total += val
+		}
+	}
+	return total, true
+}
+
+// derivOneD is the full-walk masked derivative — the fallback for the
+// shapes derivOneDPruned cannot cover and the reference implementation the
+// equivalence tests compare against.
 func (s *System) derivOneD(attr, value int, cons []query.Constraint) float64 {
 	// If the mask excludes the value, the variable does not occur in the
 	// masked polynomial at all.
@@ -546,6 +935,9 @@ func (s *System) derivOneD(attr, value int, cons []query.Constraint) float64 {
 	return total
 }
 
+// derivMulti is the full-walk masked statistic derivative — the fallback
+// for the shapes derivMultiPruned cannot cover and the reference
+// implementation the equivalence tests compare against.
 func (s *System) derivMulti(stat int, cons []query.Constraint) float64 {
 	total := 0.0
 	for _, ti := range s.poly.statTerms[stat] {

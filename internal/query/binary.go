@@ -104,10 +104,16 @@ type BatchAnswer struct {
 
 // --- encoding ---------------------------------------------------------
 
-// frameWriter accumulates a payload and frames it on flush.
+// frameWriter appends a payload after reserved header space and backfills
+// the frame header on seal, so a whole frame is built in one contiguous
+// buffer the caller can reuse across calls.
 type frameWriter struct {
 	buf []byte
 }
+
+// zeroHeader is the header-sized zero block reserved at the front of a
+// frame before the payload is known; seal overwrites it in place.
+var zeroHeader [batchHeaderSize]byte
 
 func (w *frameWriter) uvarint(v uint64) {
 	w.buf = binary.AppendUvarint(w.buf, v)
@@ -122,44 +128,55 @@ func (w *frameWriter) float(f float64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
 }
 
-// flush frames the accumulated payload under the given magic and writes
-// the complete frame to out.
-func (w *frameWriter) flush(out io.Writer, magic string) error {
-	if len(w.buf) > MaxBatchFrameBytes {
-		return fmt.Errorf("query: batch payload %d bytes exceeds the %d-byte frame bound", len(w.buf), MaxBatchFrameBytes)
+// seal backfills the frame header reserved at base (magic, version,
+// payload length, CRC32-C) and returns the completed buffer.
+func (w *frameWriter) seal(base int, magic string) ([]byte, error) {
+	payload := w.buf[base+batchHeaderSize:]
+	if len(payload) > MaxBatchFrameBytes {
+		return nil, fmt.Errorf("query: batch payload %d bytes exceeds the %d-byte frame bound", len(payload), MaxBatchFrameBytes)
 	}
-	head := make([]byte, batchHeaderSize)
+	head := w.buf[base : base+batchHeaderSize]
 	copy(head[:8], magic)
 	binary.LittleEndian.PutUint16(head[8:10], batchFormatVersion)
-	// head[10:12] reserved, zero.
-	binary.LittleEndian.PutUint64(head[12:20], uint64(len(w.buf)))
-	binary.LittleEndian.PutUint32(head[20:24], crc32.Checksum(w.buf, batchCRCTable))
-	if _, err := out.Write(head); err != nil {
-		return err
-	}
-	_, err := out.Write(w.buf)
-	return err
+	// head[10:12] reserved, zero (pre-cleared by zeroHeader).
+	binary.LittleEndian.PutUint64(head[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(head[20:24], crc32.Checksum(payload, batchCRCTable))
+	return w.buf, nil
 }
 
 // EncodeBatch writes a framed batch request: the target estimator name
 // and N queries. Items are validated the same way DecodeBatch validates
 // them, so an encoder can never produce a frame its decoder rejects.
 func EncodeBatch(out io.Writer, estimator string, items []BatchItem) error {
+	frame, err := AppendBatch(nil, estimator, items)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(frame)
+	return err
+}
+
+// AppendBatch appends a complete framed batch request to dst and returns
+// the extended slice. It reuses dst's spare capacity, so a client that
+// recycles its request buffer encodes steady-state batches without
+// allocating. dst may be nil.
+func AppendBatch(dst []byte, estimator string, items []BatchItem) ([]byte, error) {
 	if len(items) == 0 {
-		return errors.New("query: batch must contain at least one item")
+		return nil, errors.New("query: batch must contain at least one item")
 	}
 	if len(items) > MaxBatchItems {
-		return fmt.Errorf("query: batch of %d items exceeds the %d-item bound", len(items), MaxBatchItems)
+		return nil, fmt.Errorf("query: batch of %d items exceeds the %d-item bound", len(items), MaxBatchItems)
 	}
-	w := &frameWriter{}
+	base := len(dst)
+	w := frameWriter{buf: append(dst, zeroHeader[:]...)}
 	w.str(estimator)
 	w.uvarint(uint64(len(items)))
 	for i, it := range items {
-		if err := encodeItem(w, it); err != nil {
-			return fmt.Errorf("query: batch item %d: %w", i, err)
+		if err := encodeItem(&w, it); err != nil {
+			return nil, fmt.Errorf("query: batch item %d: %w", i, err)
 		}
 	}
-	return w.flush(out, batchRequestMagic)
+	return w.seal(base, batchRequestMagic)
 }
 
 // encodeItem appends one batch item to the payload.
@@ -208,7 +225,21 @@ func encodeItem(w *frameWriter, it BatchItem) error {
 // EncodeAnswers writes a framed batch answer: the answering estimator
 // name and one BatchAnswer per request item, in request order.
 func EncodeAnswers(out io.Writer, estimator string, answers []BatchAnswer) error {
-	w := &frameWriter{}
+	frame, err := AppendAnswers(nil, estimator, answers)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(frame)
+	return err
+}
+
+// AppendAnswers appends a complete framed batch answer to dst and returns
+// the extended slice. It reuses dst's spare capacity, so a server that
+// pools response buffers assembles steady-state answers without
+// allocating. dst may be nil.
+func AppendAnswers(dst []byte, estimator string, answers []BatchAnswer) ([]byte, error) {
+	base := len(dst)
+	w := frameWriter{buf: append(dst, zeroHeader[:]...)}
 	w.str(estimator)
 	w.uvarint(uint64(len(answers)))
 	for _, a := range answers {
@@ -239,7 +270,7 @@ func EncodeAnswers(out io.Writer, estimator string, answers []BatchAnswer) error
 			w.float(a.Count)
 		}
 	}
-	return w.flush(out, batchAnswerMagic)
+	return w.seal(base, batchAnswerMagic)
 }
 
 // --- decoding ---------------------------------------------------------

