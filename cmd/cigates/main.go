@@ -10,6 +10,11 @@
 //	go run ./cmd/experiment -seed 1 > report.json
 //	go run ./cmd/cigates golden -golden testdata/golden_report.json -current report.json
 //
+// API docs gate (fails when a registered HTTP route or a summaryd/loadgen
+// flag is missing from docs/API.md — run from the repository root):
+//
+//	go run ./cmd/cigates docs -doc docs/API.md
+//
 // Refresh the baselines after an intentional change with:
 //
 //	go test ./internal/polynomial ./internal/solver ./internal/server -bench . -run '^$' | tee BENCH_baseline.txt
@@ -20,8 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/ci"
+	"repro/internal/server"
 )
 
 func main() {
@@ -33,6 +41,8 @@ func main() {
 		benchGate(os.Args[2:])
 	case "golden":
 		goldenGate(os.Args[2:])
+	case "docs":
+		docsGate(os.Args[2:])
 	default:
 		usage()
 	}
@@ -41,6 +51,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cigates bench -baseline FILE -current FILE [-tolerance 0.30]")
 	fmt.Fprintln(os.Stderr, "       cigates golden -golden FILE -current FILE [-tolerance 1e-9]")
+	fmt.Fprintln(os.Stderr, "       cigates docs [-doc docs/API.md] [-cmds cmd/summaryd/main.go,cmd/loadgen/main.go]")
 	os.Exit(2)
 }
 
@@ -121,4 +132,45 @@ func goldenGate(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println("golden gate passed: accuracy metrics identical within tolerance")
+}
+
+// docsGate fails when the serving surface outgrew its documentation: the
+// route inventory comes from server.Routes() (the mux's own registration
+// list, so a new endpoint is picked up automatically) and the flag
+// inventory is parsed out of the command sources.
+func docsGate(args []string) {
+	fs := flag.NewFlagSet("docs", flag.ExitOnError)
+	doc := fs.String("doc", "docs/API.md", "API reference every route and flag must appear in")
+	cmds := fs.String("cmds", "cmd/summaryd/main.go,cmd/loadgen/main.go",
+		"comma-separated command sources whose flags must be documented")
+	_ = fs.Parse(args)
+
+	docText, err := os.ReadFile(*doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates docs: %v\n", err)
+		os.Exit(2)
+	}
+	routes := server.New(server.NewRegistry(), server.Options{}).Routes()
+	flags := make(map[string][]string)
+	totalFlags := 0
+	for _, path := range strings.Split(*cmds, ",") {
+		path = strings.TrimSpace(path)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cigates docs: %v\n", err)
+			os.Exit(2)
+		}
+		cmd := filepath.Base(filepath.Dir(path))
+		flags[cmd] = ci.ExtractFlags(string(src))
+		totalFlags += len(flags[cmd])
+	}
+	problems := ci.DocLint(string(docText), routes, flags)
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "cigates: docs gate failed, %s does not cover the serving surface:\n", *doc)
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docs gate passed: %d routes and %d flags documented in %s\n", len(routes), totalFlags, *doc)
 }

@@ -14,10 +14,18 @@
 // internal/query. This is the high-throughput client mode the BENCH.md
 // batched-serving table measures.
 //
+// With -version N, every query is answered from retained snapshot version
+// N instead of the live estimators (time travel; needs a summaryd started
+// with -store). -version-mix 0,1,2 instead cycles requests through a list
+// of versions (0 = live), stressing the server's historical-estimator
+// cache with a mixed live/time-travel workload.
+//
 //	go run ./cmd/summaryd &
 //	go run ./cmd/loadgen -addr http://localhost:8080 -estimator demo/maxent -requests 2000
 //	go run ./cmd/loadgen -estimator demo/maxent -requests 2000 -ingest-every 10 -ingest-batch 50
 //	go run ./cmd/loadgen -estimator demo/maxent -requests 4000 -batch 32 -wire binary
+//	go run ./cmd/loadgen -estimator demo/maxent -requests 1000 -version 1
+//	go run ./cmd/loadgen -estimator demo/maxent -requests 1000 -version-mix 0,1,2
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +59,8 @@ func main() {
 		ingestData  = flag.String("ingest-dataset", "", "dataset for POST /ingest/{dataset} (default: the estimator's dataset prefix)")
 		batch       = flag.Int("batch", 0, "queries per POST /query/batch round trip (0 or 1 = single-query endpoints)")
 		wire        = flag.String("wire", "json", "batch encoding: json or binary (requires -batch > 1)")
+		version     = flag.Int("version", 0, "answer every query from this retained snapshot version (0 = live estimators)")
+		versionMix  = flag.String("version-mix", "", "comma-separated snapshot versions cycled across requests, 0 meaning live (e.g. 0,1,2) — a mixed live/time-travel workload")
 	)
 	flag.Parse()
 	if *queries <= 0 {
@@ -76,6 +87,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: -batch and -ingest-every are mutually exclusive\n")
 		os.Exit(2)
 	}
+	if *version < 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -version must be non-negative, got %d\n", *version)
+		os.Exit(2)
+	}
+	var mixVersions []int
+	if *versionMix != "" {
+		for _, part := range strings.Split(*versionMix, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "loadgen: -version-mix entries must be non-negative integers, got %q\n", part)
+				os.Exit(2)
+			}
+			mixVersions = append(mixVersions, v)
+		}
+	}
+	if (*version > 0 || len(mixVersions) > 0) && *ingestEvery > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: versioned reads and -ingest-every are mutually exclusive (snapshots are immutable)\n")
+		os.Exit(2)
+	}
 
 	sch, err := discoverSchema(*addr, *estimator)
 	if err != nil {
@@ -95,6 +125,8 @@ func main() {
 		Timeout:     *timeout,
 		Batch:       *batch,
 		Wire:        *wire,
+		Version:     *version,
+		VersionMix:  mixVersions,
 	}
 	if *ingestEvery > 0 {
 		dataset := *ingestData

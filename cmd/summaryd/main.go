@@ -26,7 +26,17 @@
 // model that already absorbed ingested rows is served read-only (the
 // rows exist only in the model; ingestion re-enables after a rebuild).
 //
-// Endpoints: POST /query, POST /groupby, POST /ingest/{dataset},
+// The snapshot store doubles as a time-travel and branching surface:
+// GET/POST /query?version=N (and /query/batch) answer from any retained
+// snapshot version through an LRU of lazily-restored historical
+// estimators (budget set by -history-cache-bytes),
+// POST /branch/{dataset}?from=N&name=X forks a dataset at a snapshot
+// into an independently-ingestable branch whose lineage is recorded in
+// the store, and GET /diff/{dataset}?a=N&b=M reports per-attribute
+// distribution drift between two versions. See docs/VERSIONING.md.
+//
+// Endpoints: GET/POST /query, POST /query/batch, POST /groupby,
+// POST /ingest/{dataset}, POST /branch/{parent}, GET /diff/{dataset},
 // GET /estimators, GET /healthz, GET /metrics, GET /snapshots,
 // POST /snapshots/{dataset}. See docs/API.md for the full wire reference
 // and the README's "Serving summaries" section for a curl walkthrough.
@@ -79,6 +89,7 @@ func main() {
 		storeDir    = flag.String("store", "", "snapshot store directory: restore summaries at startup, save on build (created if missing)")
 		refreshRows = flag.Int("refresh-rows", 1000, "hot-swap refreshed estimators once this many ingested rows are pending (0 disables threshold refreshes)")
 		refreshIvl  = flag.Duration("refresh-interval", 0, "additionally refresh pending ingested rows on this period (0 disables)")
+		histBytes   = flag.Int64("history-cache-bytes", 0, "byte budget of the historical-estimator cache behind ?version=N time-travel queries (0 selects 4 MiB; needs -store)")
 	)
 	flag.Parse()
 
@@ -92,6 +103,10 @@ func main() {
 	}
 	if *refreshIvl < 0 {
 		fmt.Fprintf(os.Stderr, "summaryd: -refresh-interval must be non-negative, got %v\n", *refreshIvl)
+		os.Exit(2)
+	}
+	if *histBytes < 0 {
+		fmt.Fprintf(os.Stderr, "summaryd: -history-cache-bytes must be non-negative, got %d\n", *histBytes)
 		os.Exit(2)
 	}
 	h, err := stats.ParseHeuristic(*heuristic)
@@ -202,6 +217,7 @@ func main() {
 		MaxConcurrent: *maxConc,
 		CacheSize:     *cacheSize,
 		Store:         st,
+		HistoryBytes:  *histBytes,
 	})
 	if live != nil {
 		srv.AttachLive(live)

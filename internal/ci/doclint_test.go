@@ -1,0 +1,75 @@
+package ci
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtractFlags pins the flag inventory regex: package-level flag
+// declarations are collected (deduped, sorted), subcommand flag sets are
+// not part of a command's CLI surface.
+func TestExtractFlags(t *testing.T) {
+	src := `
+		addr := flag.String("addr", ":8080", "listen address")
+		rows = flag.Int("rows", 20000, "cardinality")
+		dup := flag.Int("rows", 1, "duplicate declaration")
+		mix := flag.String("version-mix", "", "versions")
+		sub := fs.String("baseline", "", "subcommand flag, ignored")
+	`
+	got := ExtractFlags(src)
+	want := []string{"addr", "rows", "version-mix"}
+	if len(got) != len(want) {
+		t.Fatalf("ExtractFlags = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExtractFlags = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDocLintPassesOnCompleteDoc: a doc mentioning every route and flag
+// produces no problems.
+func TestDocLintPassesOnCompleteDoc(t *testing.T) {
+	doc := strings.Join([]string{
+		"POST /query answers counts; POST /query/batch carries many.",
+		"GET /diff/{dataset} reports drift. POST /branch/{parent} forks.",
+		"summaryd takes -store DIR and -version N; loadgen takes -version-mix 0,1,2.",
+	}, "\n")
+	problems := DocLint(doc,
+		[]string{"/query", "/query/batch", "/diff/", "/branch/"},
+		map[string][]string{
+			"summaryd": {"store", "version"},
+			"loadgen":  {"version-mix"},
+		})
+	if len(problems) != 0 {
+		t.Fatalf("complete doc flagged: %v", problems)
+	}
+}
+
+// TestDocLintFailsOnOmissions is the acceptance-criterion failure demo:
+// an undocumented route and an undocumented flag each produce a problem,
+// and a documented -version-mix cannot mask a missing -version (boundary
+// matching).
+func TestDocLintFailsOnOmissions(t *testing.T) {
+	doc := "POST /query is documented. loadgen takes -version-mix 0,1,2."
+	problems := DocLint(doc,
+		[]string{"/query", "/branch/"},
+		map[string][]string{"loadgen": {"version", "version-mix"}})
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly the /branch/ route and the -version flag", problems)
+	}
+	if !strings.Contains(problems[0], `"/branch/"`) {
+		t.Errorf("first problem %q does not name the missing route", problems[0])
+	}
+	if !strings.Contains(problems[1], "-version ") && !strings.HasSuffix(problems[1], "-version is not documented") {
+		t.Errorf("second problem %q does not name the missing -version flag", problems[1])
+	}
+
+	// A route mentioned only as a longer path does not count: /query must
+	// not satisfy itself via /query/batch.
+	problems = DocLint("POST /query/batch only.", []string{"/query"}, nil)
+	if len(problems) != 1 {
+		t.Fatalf("substring route match leaked through: %v", problems)
+	}
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/solver"
+	"repro/internal/summary"
+)
+
+// TestRunBranchCompare checks the scenario's shape and its headline
+// claims: the drifting lineage pulls away from the fork point while the
+// stationary one stays close, the main-vs-branch gap grows past noise,
+// and neither lineage loses accuracy against its own data.
+func TestRunBranchCompare(t *testing.T) {
+	rep, err := RunBranchCompare(BranchOptions{
+		BaseRows:  4000,
+		Batches:   4,
+		BatchRows: 800,
+		Queries:   24,
+		Seed:      5,
+		Summary:   summary.Options{Solver: solver.Options{MaxSweeps: 200}},
+		Refresh:   summary.RefreshOptions{Solver: solver.Options{MaxSweeps: 200}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 4 {
+		t.Fatalf("%d steps, want 4", len(rep.Steps))
+	}
+	last := rep.Steps[len(rep.Steps)-1]
+	if last.MainRows != 4000+4*800 || last.BranchRows != 4000+4*800 {
+		t.Fatalf("final rows main=%d branch=%d, want %d", last.MainRows, last.BranchRows, 4000+4*800)
+	}
+	// The drifted lineage must diverge visibly more than the stationary
+	// one: driftBatch ends with ~90% of rows on one (region, product)
+	// cell, a total-variation shift sampling noise cannot produce.
+	if last.MainVsForkTV < 2*last.BranchVsForkTV {
+		t.Fatalf("main-vs-fork TV %.4f not clearly above branch-vs-fork %.4f",
+			last.MainVsForkTV, last.BranchVsForkTV)
+	}
+	if last.MainVsBranchTV <= rep.Steps[0].MainVsBranchTV {
+		t.Fatalf("main-vs-branch TV did not grow: %.4f -> %.4f",
+			rep.Steps[0].MainVsBranchTV, last.MainVsBranchTV)
+	}
+	if last.MaxDriftAttr == "" {
+		t.Fatal("no dominant drift attribute reported")
+	}
+	// Refreshing per batch keeps both lineages accurate on their own data.
+	if rep.MainMeanError > 0.2 || rep.BranchMeanError > 0.2 {
+		t.Fatalf("final accuracy degraded: main %.4f, branch %.4f", rep.MainMeanError, rep.BranchMeanError)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -51,6 +52,45 @@ type LoadOptions struct {
 	// Wire selects the batch encoding: "json" (default) or "binary".
 	// Ignored unless Batch > 1.
 	Wire string
+	// Version > 0 answers every query from that retained snapshot version
+	// of the estimator's dataset key (time travel); 0 queries the live
+	// estimators.
+	Version int
+	// VersionMix cycles request slots through these snapshot versions
+	// (0 = live), producing a mixed live/historical workload that
+	// exercises the server's historical-estimator cache. Overrides
+	// Version when non-empty.
+	VersionMix []int
+}
+
+// versionFor returns the snapshot version request slot j should target.
+func (o *LoadOptions) versionFor(j int) int {
+	if len(o.VersionMix) > 0 {
+		return o.VersionMix[j%len(o.VersionMix)]
+	}
+	return o.Version
+}
+
+// baseVersion is the version encoded into shared batch bodies: 0 when a
+// mix varies it per round trip (the URL override carries it then).
+func baseVersion(o LoadOptions) int {
+	if len(o.VersionMix) > 0 {
+		return 0
+	}
+	return o.Version
+}
+
+// validVersions rejects negative versions up front.
+func (o *LoadOptions) validVersions() error {
+	if o.Version < 0 {
+		return fmt.Errorf("experiment: version must be non-negative, got %d", o.Version)
+	}
+	for _, v := range o.VersionMix {
+		if v < 0 {
+			return fmt.Errorf("experiment: version mix must be non-negative, got %d", v)
+		}
+	}
+	return nil
 }
 
 // LoadResult aggregates one load-generation run; it is the payload
@@ -111,6 +151,9 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
+	}
+	if err := opts.validVersions(); err != nil {
+		return nil, err
 	}
 	if opts.Batch > 1 {
 		return driveBatched(baseURL, estimator, workload, opts)
@@ -249,8 +292,14 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 					continue
 				}
 				c := calls[j%len(calls)]
+				// The snapshot version travels as a URL override, so the
+				// pre-marshaled bodies stay shared across a version mix.
+				url := baseURL + c.path
+				if v := opts.versionFor(j); v > 0 {
+					url += "?version=" + strconv.Itoa(v)
+				}
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+c.path, "application/json", bytes.NewReader(c.body))
+				resp, err := client.Post(url, "application/json", bytes.NewReader(c.body))
 				if err != nil {
 					fail(err.Error())
 					continue
@@ -373,13 +422,16 @@ func driveBatched(baseURL, estimator string, workload []Query, opts LoadOptions)
 			for i, q := range chunk {
 				items[i] = query.BatchItem{Pred: q.Pred, GroupBy: q.GroupBy}
 			}
-			var buf bytes.Buffer
-			if err := query.EncodeBatch(&buf, estimator, items); err != nil {
+			// A fixed snapshot version rides in the frame itself (format v2);
+			// a version mix instead overrides per round trip via the URL, so
+			// pre-encoded frames stay shared.
+			frame, err := query.AppendBatchAt(nil, estimator, baseVersion(opts), items)
+			if err != nil {
 				return nil, fmt.Errorf("experiment: encode batch frame: %w", err)
 			}
-			body = buf.Bytes()
+			body = frame
 		} else {
-			req := server.BatchQueryRequest{Estimator: estimator}
+			req := server.BatchQueryRequest{Estimator: estimator, Version: baseVersion(opts)}
 			for _, q := range chunk {
 				req.Queries = append(req.Queries, server.BatchQueryItem{Predicate: q.Pred, GroupBy: q.GroupBy})
 			}
@@ -426,8 +478,14 @@ func driveBatched(baseURL, estimator string, workload []Query, opts LoadOptions)
 			defer wg.Done()
 			for j := range jobs {
 				r := rounds[j%len(rounds)]
+				url := baseURL + "/query/batch"
+				if len(opts.VersionMix) > 0 {
+					if v := opts.versionFor(j); v > 0 {
+						url += "?version=" + strconv.Itoa(v)
+					}
+				}
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+"/query/batch", contentType, bytes.NewReader(r.body))
+				resp, err := client.Post(url, contentType, bytes.NewReader(r.body))
 				if err != nil {
 					// A transport failure loses the whole round trip.
 					account(r.queries, 0, int64(len(r.body)), 0, err.Error())

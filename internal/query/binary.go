@@ -16,6 +16,7 @@
 // Request payload layout (all ints unsigned varints unless noted):
 //
 //	estimator   len + UTF-8 bytes
+//	version     (format v2 only) snapshot version, > 0
 //	count       number of batch items (1..MaxBatchItems)
 //	per item:
 //	  num_attrs
@@ -54,9 +55,14 @@ const (
 	// the trailing byte doubles as framing-version bump space.
 	batchRequestMagic = "EDBBATQ1"
 	batchAnswerMagic  = "EDBBATA1"
-	// batchFormatVersion is the payload format version; bump it when the
-	// payload layout changes incompatibly.
+	// batchFormatVersion is the baseline payload format version (PR 6
+	// wire); frames without a snapshot version are still written as v1,
+	// so a fleet of old readers keeps decoding a new client's traffic.
 	batchFormatVersion = 1
+	// batchFormatVersionAt is the payload format version that carries a
+	// snapshot version (time-travel queries) after the estimator name.
+	// Decoders accept both.
+	batchFormatVersionAt = 2
 	// batchHeaderSize is magic (8) + version (2) + reserved (2) + payload
 	// length (8) + CRC32-C (4).
 	batchHeaderSize = 8 + 2 + 2 + 8 + 4
@@ -128,16 +134,16 @@ func (w *frameWriter) float(f float64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
 }
 
-// seal backfills the frame header reserved at base (magic, version,
-// payload length, CRC32-C) and returns the completed buffer.
-func (w *frameWriter) seal(base int, magic string) ([]byte, error) {
+// seal backfills the frame header reserved at base (magic, format
+// version, payload length, CRC32-C) and returns the completed buffer.
+func (w *frameWriter) seal(base int, magic string, version uint16) ([]byte, error) {
 	payload := w.buf[base+batchHeaderSize:]
 	if len(payload) > MaxBatchFrameBytes {
 		return nil, fmt.Errorf("query: batch payload %d bytes exceeds the %d-byte frame bound", len(payload), MaxBatchFrameBytes)
 	}
 	head := w.buf[base : base+batchHeaderSize]
 	copy(head[:8], magic)
-	binary.LittleEndian.PutUint16(head[8:10], batchFormatVersion)
+	binary.LittleEndian.PutUint16(head[8:10], version)
 	// head[10:12] reserved, zero (pre-cleared by zeroHeader).
 	binary.LittleEndian.PutUint64(head[12:20], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(head[20:24], crc32.Checksum(payload, batchCRCTable))
@@ -161,6 +167,30 @@ func EncodeBatch(out io.Writer, estimator string, items []BatchItem) error {
 // recycles its request buffer encodes steady-state batches without
 // allocating. dst may be nil.
 func AppendBatch(dst []byte, estimator string, items []BatchItem) ([]byte, error) {
+	return AppendBatchAt(dst, estimator, 0, items)
+}
+
+// EncodeBatchAt is EncodeBatch targeting a specific snapshot version of
+// the estimator's dataset (version > 0); version 0 targets the live
+// estimator and emits a frame bit-identical to EncodeBatch's.
+func EncodeBatchAt(out io.Writer, estimator string, version int, items []BatchItem) error {
+	frame, err := AppendBatchAt(nil, estimator, version, items)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(frame)
+	return err
+}
+
+// AppendBatchAt is AppendBatch targeting a specific snapshot version of
+// the estimator's dataset. version 0 (the live estimator) emits a format
+// v1 frame — bit-identical to what AppendBatch always produced, so
+// version-unaware servers keep working; version > 0 emits a format v2
+// frame carrying the snapshot version after the estimator name.
+func AppendBatchAt(dst []byte, estimator string, version int, items []BatchItem) ([]byte, error) {
+	if version < 0 {
+		return nil, fmt.Errorf("query: batch snapshot version %d must be non-negative", version)
+	}
 	if len(items) == 0 {
 		return nil, errors.New("query: batch must contain at least one item")
 	}
@@ -170,13 +200,18 @@ func AppendBatch(dst []byte, estimator string, items []BatchItem) ([]byte, error
 	base := len(dst)
 	w := frameWriter{buf: append(dst, zeroHeader[:]...)}
 	w.str(estimator)
+	format := uint16(batchFormatVersion)
+	if version > 0 {
+		format = batchFormatVersionAt
+		w.uvarint(uint64(version))
+	}
 	w.uvarint(uint64(len(items)))
 	for i, it := range items {
 		if err := encodeItem(&w, it); err != nil {
 			return nil, fmt.Errorf("query: batch item %d: %w", i, err)
 		}
 	}
-	return w.seal(base, batchRequestMagic)
+	return w.seal(base, batchRequestMagic, format)
 }
 
 // encodeItem appends one batch item to the payload.
@@ -270,7 +305,7 @@ func AppendAnswers(dst []byte, estimator string, answers []BatchAnswer) ([]byte,
 			w.float(a.Count)
 		}
 	}
-	return w.seal(base, batchAnswerMagic)
+	return w.seal(base, batchAnswerMagic, batchFormatVersion)
 }
 
 // --- decoding ---------------------------------------------------------
@@ -333,74 +368,96 @@ func (r *frameReader) done() error {
 	return nil
 }
 
-// readFrame verifies the framing (magic, version, length, CRC32-C) and
-// returns the payload.
-func readFrame(in io.Reader, magic string) ([]byte, error) {
+// readFrame verifies the framing (magic, format version within
+// [1, maxVersion], length, CRC32-C) and returns the payload and the
+// format version the frame declared.
+func readFrame(in io.Reader, magic string, maxVersion uint16) ([]byte, uint16, error) {
 	var head [batchHeaderSize]byte
 	if _, err := io.ReadFull(in, head[:]); err != nil {
-		return nil, fmt.Errorf("%w: header truncated (%v)", ErrFrame, err)
+		return nil, 0, fmt.Errorf("%w: header truncated (%v)", ErrFrame, err)
 	}
 	if string(head[:8]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrFrame, head[:8], magic)
+		return nil, 0, fmt.Errorf("%w: bad magic %q (want %q)", ErrFrame, head[:8], magic)
 	}
-	if v := binary.LittleEndian.Uint16(head[8:10]); v != batchFormatVersion {
-		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrFrame, v, batchFormatVersion)
+	version := binary.LittleEndian.Uint16(head[8:10])
+	if version < batchFormatVersion || version > maxVersion {
+		return nil, 0, fmt.Errorf("%w: format version %d, this build reads %d..%d", ErrFrame, version, batchFormatVersion, maxVersion)
 	}
 	length := binary.LittleEndian.Uint64(head[12:20])
 	if length > MaxBatchFrameBytes {
-		return nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte bound", ErrFrame, length, int64(MaxBatchFrameBytes))
+		return nil, 0, fmt.Errorf("%w: payload length %d exceeds the %d-byte bound", ErrFrame, length, int64(MaxBatchFrameBytes))
 	}
 	want := binary.LittleEndian.Uint32(head[20:24])
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(in, payload); err != nil {
-		return nil, fmt.Errorf("%w: payload truncated (%v)", ErrFrame, err)
+		return nil, 0, fmt.Errorf("%w: payload truncated (%v)", ErrFrame, err)
 	}
 	// Trailing bytes mean the length field and the frame disagree.
 	var one [1]byte
 	if n, _ := in.Read(one[:]); n != 0 {
-		return nil, fmt.Errorf("%w: %d-byte payload followed by trailing garbage", ErrFrame, length)
+		return nil, 0, fmt.Errorf("%w: %d-byte payload followed by trailing garbage", ErrFrame, length)
 	}
 	if got := crc32.Checksum(payload, batchCRCTable); got != want {
-		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrFrame, got, want)
+		return nil, 0, fmt.Errorf("%w: checksum %08x, header says %08x", ErrFrame, got, want)
 	}
-	return payload, nil
+	return payload, version, nil
 }
 
 // DecodeBatch reads and validates a framed batch request, returning the
-// estimator name and the decoded items. Validation mirrors the JSON
-// path's strictness — out-of-range or duplicate attributes, inverted
-// ranges, and empty sets are rejected with errors that pinpoint the
-// offending item — so a malformed frame never becomes a silently-wrong
-// query.
+// estimator name and the decoded items. It accepts both format versions
+// but discards a v2 frame's snapshot version — version-aware servers use
+// DecodeBatchAt. Validation mirrors the JSON path's strictness —
+// out-of-range or duplicate attributes, inverted ranges, and empty sets
+// are rejected with errors that pinpoint the offending item — so a
+// malformed frame never becomes a silently-wrong query.
 func DecodeBatch(in io.Reader) (string, []BatchItem, error) {
-	payload, err := readFrame(in, batchRequestMagic)
+	estimator, _, items, err := DecodeBatchAt(in)
+	return estimator, items, err
+}
+
+// DecodeBatchAt is DecodeBatch returning the snapshot version the frame
+// targets: 0 (the live estimator) for format v1 frames, the encoded
+// version (> 0) for format v2.
+func DecodeBatchAt(in io.Reader) (string, int, []BatchItem, error) {
+	payload, format, err := readFrame(in, batchRequestMagic, batchFormatVersionAt)
 	if err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
 	r := &frameReader{buf: payload}
 	estimator, err := r.str(1<<10, "estimator name")
 	if err != nil {
-		return "", nil, err
+		return "", 0, nil, err
+	}
+	version := 0
+	if format >= batchFormatVersionAt {
+		v, err := r.uvarint()
+		if err != nil {
+			return "", 0, nil, err
+		}
+		if v == 0 || v > 1<<31 {
+			return "", 0, nil, fmt.Errorf("%w: snapshot version %d out of range [1, 2^31]", ErrFrame, v)
+		}
+		version = int(v)
 	}
 	n, err := r.count(MaxBatchItems, "batch item")
 	if err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
 	if n == 0 {
-		return "", nil, errors.New("query: batch must contain at least one item")
+		return "", 0, nil, errors.New("query: batch must contain at least one item")
 	}
 	items := make([]BatchItem, n)
 	for i := range items {
 		it, err := decodeItem(r)
 		if err != nil {
-			return "", nil, fmt.Errorf("query: batch item %d: %w", i, err)
+			return "", 0, nil, fmt.Errorf("query: batch item %d: %w", i, err)
 		}
 		items[i] = it
 	}
 	if err := r.done(); err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
-	return estimator, items, nil
+	return estimator, version, items, nil
 }
 
 // decodeItem reads and validates one batch item.
@@ -508,7 +565,7 @@ func decodeItem(r *frameReader) (BatchItem, error) {
 // DecodeAnswers reads and validates a framed batch answer, returning the
 // estimator name and the decoded answers.
 func DecodeAnswers(in io.Reader) (string, []BatchAnswer, error) {
-	payload, err := readFrame(in, batchAnswerMagic)
+	payload, _, err := readFrame(in, batchAnswerMagic, batchFormatVersion)
 	if err != nil {
 		return "", nil, err
 	}

@@ -237,25 +237,32 @@ func FuzzDecodeBatch(f *testing.F) {
 		}
 		f.Add(buf.Bytes())
 	}
+	// Versioned (format v2) seed: the old-frame/new-frame compatibility
+	// pair must both stay in the accepted language.
+	versioned, err := AppendBatchAt(nil, "demo/maxent", 7, []BatchItem{{}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(versioned)
 	f.Add([]byte{})
 	f.Add([]byte(batchRequestMagic))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		estimator, items, err := DecodeBatch(bytes.NewReader(data))
+		estimator, version, items, err := DecodeBatchAt(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		// Anything the decoder accepts must be encodable again and decode
 		// to the same batch — the decoder defines the canonical form.
-		var buf bytes.Buffer
-		if err := EncodeBatch(&buf, estimator, items); err != nil {
+		buf, err := AppendBatchAt(nil, estimator, version, items)
+		if err != nil {
 			t.Fatalf("accepted batch failed to re-encode: %v", err)
 		}
-		est2, items2, err := DecodeBatch(bytes.NewReader(buf.Bytes()))
+		est2, v2, items2, err := DecodeBatchAt(bytes.NewReader(buf))
 		if err != nil {
 			t.Fatalf("re-encoded batch failed to decode: %v", err)
 		}
-		if est2 != estimator || len(items2) != len(items) {
-			t.Fatalf("round trip drifted: %q/%d != %q/%d", est2, len(items2), estimator, len(items))
+		if est2 != estimator || v2 != version || len(items2) != len(items) {
+			t.Fatalf("round trip drifted: %q/v%d/%d != %q/v%d/%d", est2, v2, len(items2), estimator, version, len(items))
 		}
 		for i := range items {
 			a, b := items[i], items2[i]

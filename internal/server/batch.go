@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -24,9 +23,13 @@ type BatchQueryItem struct {
 	GroupBy   []int            `json:"group_by,omitempty"`
 }
 
-// BatchQueryRequest is the JSON body of POST /query/batch.
+// BatchQueryRequest is the JSON body of POST /query/batch. Version > 0
+// answers the whole batch from that retained snapshot of the estimator's
+// dataset key (the binary wire carries the same field in its format v2
+// frame); a ?version=N URL parameter overrides it on either wire.
 type BatchQueryRequest struct {
 	Estimator string           `json:"estimator"`
+	Version   int              `json:"version,omitempty"`
 	Queries   []BatchQueryItem `json:"queries"`
 }
 
@@ -42,8 +45,10 @@ type BatchResult struct {
 }
 
 // BatchQueryResponse is the JSON body of a successful POST /query/batch.
+// Version echoes the snapshot version that answered (0 = live).
 type BatchQueryResponse struct {
 	Estimator string        `json:"estimator"`
+	Version   int           `json:"version,omitempty"`
 	Answers   []BatchResult `json:"answers"`
 	LatencyNS int64         `json:"latency_ns"`
 }
@@ -79,10 +84,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
 
 	var estimator string
+	var version int
 	var items []query.BatchItem
 	if binaryReq {
 		var err error
-		estimator, items, err = query.DecodeBatch(body)
+		estimator, version, items, err = query.DecodeBatchAt(body)
 		if err != nil {
 			fail(badRequest("malformed batch frame: %v", err))
 			return
@@ -94,10 +100,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		estimator = req.Estimator
+		version = req.Version
 		items = make([]query.BatchItem, len(req.Queries))
 		for i, q := range req.Queries {
 			items[i] = query.BatchItem{Pred: q.Predicate, GroupBy: q.GroupBy}
 		}
+	}
+	if v, herr := urlVersion(r); herr != nil {
+		fail(herr)
+		return
+	} else if v >= 0 {
+		version = v
 	}
 	if len(items) == 0 {
 		fail(badRequest("batch is empty"))
@@ -107,16 +120,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		fail(badRequest("batch of %d queries exceeds the limit of %d", len(items), s.opts.MaxBatch))
 		return
 	}
-	if estimator == "" {
-		fail(badRequest(`missing "estimator"`))
-		return
-	}
 	// Resolve the estimator once: every answer of a batch comes from the
-	// same registry snapshot (name + generation), even if an ingest swaps
-	// the estimator mid-flight.
-	ent, ok := s.reg.Get(estimator)
-	if !ok {
-		fail(&httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown estimator %q", estimator)})
+	// same registry snapshot (name + generation, or name + snapshot
+	// version for a time-travel batch), even if an ingest swaps the
+	// estimator mid-flight.
+	ent, herr := s.lookupEntry(estimator, version)
+	if herr != nil {
+		fail(herr)
 		return
 	}
 	s.metrics.RecordBatch(len(items), body.n, binaryReq)
@@ -208,6 +218,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchQueryResponse{
 		Estimator: ent.Name,
+		Version:   ent.Snapshot,
 		Answers:   make([]BatchResult, len(answers)),
 		LatencyNS: s.opts.Now().Sub(start).Nanoseconds(),
 	}

@@ -29,6 +29,11 @@ type Entry struct {
 	// never serve a previous generation's cached answers) and into the
 	// /metrics staleness report.
 	Generation uint64
+	// Snapshot is 0 for live registry entries. Historical entries restored
+	// by the History cache carry the snapshot version they answer from
+	// instead of a generation: snapshots are immutable, so their cache
+	// keys are keyed by version, not by swap count.
+	Snapshot int
 }
 
 // Registry is a concurrent-safe map of named estimators. Registration,

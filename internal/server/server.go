@@ -36,8 +36,13 @@ type Options struct {
 	// carry (default 1024, hard cap query.MaxBatchItems).
 	MaxBatch int
 	// Store, when non-nil, backs the snapshot admin endpoints
-	// (GET /snapshots, POST /snapshots/{dataset}); nil serves 501 on them.
+	// (GET /snapshots, POST /snapshots/{dataset}) and the versioned-serving
+	// endpoints (/query?version=N, /branch, /diff); nil serves 501 on them.
 	Store *store.Store
+	// HistoryBytes bounds the historical-estimator cache behind
+	// time-travel queries, in summed estimator ApproxBytes (<= 0 selects
+	// 4 MiB). Ignored without a Store.
+	HistoryBytes int64
 	// Now overrides the wall clock, for tests (default time.Now).
 	Now func() time.Time
 }
@@ -72,10 +77,12 @@ func (o *Options) setDefaults() {
 type Server struct {
 	reg     *Registry
 	cache   *Cache
+	history *History // nil without a store
 	metrics *Metrics
 	sem     chan struct{}
 	opts    Options
 	mux     *http.ServeMux
+	routes  []string
 
 	livesMu sync.RWMutex
 	lives   map[string]*Live
@@ -93,17 +100,38 @@ func New(reg *Registry, opts Options) *Server {
 		opts:    opts,
 		lives:   make(map[string]*Live),
 	}
+	if opts.Store != nil {
+		s.history = NewHistory(opts.Store, opts.HistoryBytes, opts.Now)
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/query/batch", s.handleBatch)
-	s.mux.HandleFunc("/groupby", s.handleGroupBy)
-	s.mux.HandleFunc("/estimators", s.handleEstimators)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/snapshots", s.handleSnapshotList)
-	s.mux.HandleFunc("/snapshots/", s.handleSnapshotSave)
-	s.mux.HandleFunc("/ingest/", s.handleIngest)
+	s.handle("/query", s.handleQuery)
+	s.handle("/query/batch", s.handleBatch)
+	s.handle("/groupby", s.handleGroupBy)
+	s.handle("/estimators", s.handleEstimators)
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/metrics", s.handleMetrics)
+	s.handle("/snapshots", s.handleSnapshotList)
+	s.handle("/snapshots/", s.handleSnapshotSave)
+	s.handle("/ingest/", s.handleIngest)
+	s.handle("/branch/", s.handleBranch)
+	s.handle("/diff/", s.handleDiff)
 	return s
+}
+
+// handle registers one route and records its pattern for Routes().
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, fn)
+	s.routes = append(s.routes, pattern)
+}
+
+// Routes returns every registered HTTP route pattern, sorted. It is the
+// source of truth the documentation lint gate (cigates docs) checks
+// docs/API.md against, so an endpoint cannot be added — or renamed —
+// without its documentation following along.
+func (s *Server) Routes() []string {
+	out := append([]string(nil), s.routes...)
+	sort.Strings(out)
+	return out
 }
 
 // AttachLive enables POST /ingest/{dataset} for a live dataset and hands
@@ -150,25 +178,33 @@ func (s *Server) Cache() *Cache { return s.cache }
 // --- wire types -------------------------------------------------------
 
 // QueryRequest is the body of POST /query. A null/omitted predicate asks
-// for the full relation cardinality.
+// for the full relation cardinality. Version > 0 answers from that
+// retained snapshot of the estimator's dataset key instead of the live
+// entry (time travel); a ?version=N URL parameter overrides the body
+// field on both GET and POST.
 type QueryRequest struct {
 	Estimator string           `json:"estimator"`
 	Predicate *query.Predicate `json:"predicate,omitempty"`
+	Version   int              `json:"version,omitempty"`
 }
 
-// QueryResponse is the body of a successful POST /query.
+// QueryResponse is the body of a successful POST /query. Version echoes
+// the snapshot version that answered (0 = the live estimator).
 type QueryResponse struct {
 	Estimator string  `json:"estimator"`
+	Version   int     `json:"version,omitempty"`
 	Count     float64 `json:"count"`
 	Cached    bool    `json:"cached"`
 	LatencyNS int64   `json:"latency_ns"`
 }
 
-// GroupByRequest is the body of POST /groupby.
+// GroupByRequest is the body of POST /groupby. Version works as on
+// /query.
 type GroupByRequest struct {
 	Estimator string           `json:"estimator"`
 	Predicate *query.Predicate `json:"predicate,omitempty"`
 	GroupBy   []int            `json:"group_by"`
+	Version   int              `json:"version,omitempty"`
 }
 
 // GroupRow is one group of a group-by answer.
@@ -180,6 +216,7 @@ type GroupRow struct {
 // GroupByResponse is the body of a successful POST /groupby.
 type GroupByResponse struct {
 	Estimator string     `json:"estimator"`
+	Version   int        `json:"version,omitempty"`
 	Groups    []GroupRow `json:"groups"`
 	Cached    bool       `json:"cached"`
 	LatencyNS int64      `json:"latency_ns"`
@@ -222,6 +259,9 @@ type MetricsResponse struct {
 	// rows = staleness) for every live dataset; empty when ingestion is
 	// not enabled.
 	Datasets []LiveStatus `json:"datasets,omitempty"`
+	// History reports the historical-estimator cache behind time-travel
+	// queries; absent without a snapshot store.
+	History *HistoryStats `json:"history,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -244,16 +284,25 @@ func badRequest(format string, args ...interface{}) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// handleQuery serves POST /query (JSON body) and GET /query (URL
+// parameters: estimator, version, and an optional URL-encoded JSON
+// predicate — the curl-able time-travel form). On both methods a
+// ?version=N URL parameter overrides the body's version field.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := s.opts.Now()
 	var req QueryRequest
-	err := s.withRequest(w, r, &req, func(ctx context.Context) (interface{}, error) {
-		ent, key, herr := s.admitQuery(req.Estimator, "c", req.Predicate, nil)
+	run := func(ctx context.Context) (interface{}, error) {
+		if v, herr := urlVersion(r); herr != nil {
+			return nil, herr
+		} else if v >= 0 {
+			req.Version = v
+		}
+		ent, key, herr := s.admitQuery(req.Estimator, req.Version, "c", req.Predicate, nil)
 		if herr != nil {
 			return nil, herr
 		}
 		if v, ok := s.cache.Get(key); ok {
-			return QueryResponse{Estimator: ent.Name, Count: v.(float64), Cached: true}, nil
+			return QueryResponse{Estimator: ent.Name, Version: ent.Snapshot, Count: v.(float64), Cached: true}, nil
 		}
 		v, herr2 := s.execute(ctx, func() (interface{}, error) {
 			return ent.Estimator.EstimateCount(req.Predicate)
@@ -263,25 +312,69 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		count := v.(float64)
 		s.cache.Put(key, count)
-		return QueryResponse{Estimator: ent.Name, Count: count}, nil
-	}, func(resp interface{}, latency time.Duration) interface{} {
+		return QueryResponse{Estimator: ent.Name, Version: ent.Snapshot, Count: count}, nil
+	}
+	finish := func(resp interface{}, latency time.Duration) interface{} {
 		qr := resp.(QueryResponse)
 		qr.LatencyNS = latency.Nanoseconds()
 		return qr
-	})
+	}
+	var err error
+	if r.Method == http.MethodGet {
+		if herr := queryRequestFromURL(r, &req); herr != nil {
+			writeJSON(w, herr.status, errorResponse{Error: herr.msg})
+			err = herr
+		} else {
+			err = s.runTimed(w, r, run, finish)
+		}
+	} else {
+		err = s.withRequest(w, r, &req, run, finish)
+	}
 	s.metrics.Record(s.opts.Now().Sub(start), err != nil)
+}
+
+// queryRequestFromURL decodes the GET /query parameter form.
+func queryRequestFromURL(r *http.Request, req *QueryRequest) *httpError {
+	q := r.URL.Query()
+	req.Estimator = q.Get("estimator")
+	if raw := q.Get("predicate"); raw != "" {
+		var p query.Predicate
+		if err := json.Unmarshal([]byte(raw), &p); err != nil {
+			return badRequest("malformed predicate parameter: %v", err)
+		}
+		req.Predicate = &p
+	}
+	return nil
+}
+
+// urlVersion parses the optional ?version=N parameter; -1 means absent.
+func urlVersion(r *http.Request) (int, *httpError) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return -1, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return -1, badRequest("version must be a non-negative integer, got %q", raw)
+	}
+	return v, nil
 }
 
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	start := s.opts.Now()
 	var req GroupByRequest
 	err := s.withRequest(w, r, &req, func(ctx context.Context) (interface{}, error) {
-		ent, key, herr := s.admitQuery(req.Estimator, "g", req.Predicate, req.GroupBy)
+		if v, herr := urlVersion(r); herr != nil {
+			return nil, herr
+		} else if v >= 0 {
+			req.Version = v
+		}
+		ent, key, herr := s.admitQuery(req.Estimator, req.Version, "g", req.Predicate, req.GroupBy)
 		if herr != nil {
 			return nil, herr
 		}
 		if v, ok := s.cache.Get(key); ok {
-			return GroupByResponse{Estimator: ent.Name, Groups: v.([]GroupRow), Cached: true}, nil
+			return GroupByResponse{Estimator: ent.Name, Version: ent.Snapshot, Groups: v.([]GroupRow), Cached: true}, nil
 		}
 		v, herr2 := s.execute(ctx, func() (interface{}, error) {
 			return ent.Estimator.EstimateGroupBy(req.GroupBy, req.Predicate)
@@ -291,7 +384,7 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		}
 		rows := toGroupRows(v.([]core.GroupEstimate))
 		s.cache.Put(key, rows)
-		return GroupByResponse{Estimator: ent.Name, Groups: rows}, nil
+		return GroupByResponse{Estimator: ent.Name, Version: ent.Snapshot, Groups: rows}, nil
 	}, func(resp interface{}, latency time.Duration) interface{} {
 		gr := resp.(GroupByResponse)
 		gr.LatencyNS = latency.Nanoseconds()
@@ -326,12 +419,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
 		return
 	}
-	writeJSON(w, http.StatusOK, MetricsResponse{
+	resp := MetricsResponse{
 		MetricsSnapshot: s.metrics.Snapshot(s.opts.Now()),
 		Cache:           s.cache.Stats(),
 		Estimators:      s.estimatorInfos(),
 		Datasets:        s.liveStatuses(),
-	})
+	}
+	if s.history != nil {
+		hs := s.history.Stats()
+		resp.History = &hs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleIngest serves POST /ingest/{dataset}: it appends a batch of rows
@@ -452,6 +550,15 @@ func (s *Server) withRequest(w http.ResponseWriter, r *http.Request, req interfa
 		writeJSON(w, herr.status, errorResponse{Error: herr.msg})
 		return herr
 	}
+	return s.runTimed(w, r, fn, finish)
+}
+
+// runTimed runs fn under the per-request timeout, stamps the latency via
+// finish, and writes either the response or a JSON error — the shared
+// tail of the POST (body) and GET (URL parameter) request forms.
+func (s *Server) runTimed(w http.ResponseWriter, r *http.Request,
+	fn func(ctx context.Context) (interface{}, error),
+	finish func(resp interface{}, latency time.Duration) interface{}) error {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 	defer cancel()
 	start := s.opts.Now()
@@ -469,22 +576,53 @@ func (s *Server) withRequest(w http.ResponseWriter, r *http.Request, req interfa
 	return nil
 }
 
-// admitQuery validates the request against the registry and returns the
-// target entry plus the canonical cache key. kind is "c" for counts, "g"
-// for group-bys.
-func (s *Server) admitQuery(estimator, kind string, pred *query.Predicate, groupBy []int) (Entry, string, error) {
-	if estimator == "" {
-		return Entry{}, "", badRequest(`missing "estimator"`)
-	}
-	ent, ok := s.reg.Get(estimator)
-	if !ok {
-		return Entry{}, "", &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown estimator %q", estimator)}
+// admitQuery validates the request against the registry (version <= 0,
+// the live estimator) or the historical cache (version > 0, a retained
+// snapshot) and returns the target entry plus the canonical cache key.
+// kind is "c" for counts, "g" for group-bys.
+func (s *Server) admitQuery(estimator string, version int, kind string, pred *query.Predicate, groupBy []int) (Entry, string, error) {
+	ent, herr := s.lookupEntry(estimator, version)
+	if herr != nil {
+		return Entry{}, "", herr
 	}
 	key, err := queryKey(ent, kind, pred, groupBy)
 	if err != nil {
 		return Entry{}, "", err
 	}
 	return ent, key, nil
+}
+
+// lookupEntry resolves an estimator name at a version: version <= 0 is
+// the live registry entry, version > 0 a retained snapshot served through
+// the historical cache (restored on first hit).
+func (s *Server) lookupEntry(estimator string, version int) (Entry, *httpError) {
+	if estimator == "" {
+		return Entry{}, badRequest(`missing "estimator"`)
+	}
+	if version <= 0 {
+		ent, ok := s.reg.Get(estimator)
+		if !ok {
+			return Entry{}, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown estimator %q", estimator)}
+		}
+		return ent, nil
+	}
+	if s.history == nil {
+		return Entry{}, &httpError{status: http.StatusNotImplemented,
+			msg: "versioned queries need a snapshot store (start summaryd with -store)"}
+	}
+	ent, err := s.history.Get(estimator, version)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			return Entry{}, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("estimator %q has no snapshot version %d", estimator, version)}
+		case errors.Is(err, store.ErrCorrupt):
+			return Entry{}, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		default:
+			return Entry{}, badRequest("%v", err)
+		}
+	}
+	return ent, nil
 }
 
 // queryKey validates the query shape against the entry's schema and builds
@@ -500,13 +638,21 @@ func queryKey(ent Entry, kind string, pred *query.Predicate, groupBy []int) (str
 	// The entry generation is part of the key, so answers cached before a
 	// hot swap can never be served afterwards — even if an in-flight query
 	// of the old generation stores its result after the swap's explicit
-	// invalidation ran. Built with one Builder rather than string
-	// concatenation: the batch path calls this once per item.
+	// invalidation ran. Historical entries (Snapshot > 0) are immutable and
+	// key by snapshot version instead, under a distinct "s" marker so a
+	// snapshot version can never collide with a live generation. Built with
+	// one Builder rather than string concatenation: the batch path calls
+	// this once per item.
 	var b strings.Builder
 	b.Grow(len(ent.Name) + 16)
 	b.WriteString(ent.Name)
-	b.WriteString("\x00v")
-	b.WriteString(strconv.FormatUint(ent.Generation, 10))
+	if ent.Snapshot > 0 {
+		b.WriteString("\x00s")
+		b.WriteString(strconv.Itoa(ent.Snapshot))
+	} else {
+		b.WriteString("\x00v")
+		b.WriteString(strconv.FormatUint(ent.Generation, 10))
+	}
 	b.WriteByte(0)
 	b.WriteString(kind)
 	if kind == "g" {

@@ -301,18 +301,25 @@ func TestMalformedRequests(t *testing.T) {
 		}
 	}
 
-	// Wrong methods.
-	for _, path := range []string{"/query", "/groupby"} {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
-		}
+	// Wrong methods. GET /query is a supported wire (versioned reads), so a
+	// bare GET there is a 400 (no estimator), not a 405.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader("{}"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /query: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/groupby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /groupby: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/metrics", "application/json", strings.NewReader("{}"))
 	if err != nil {
 		t.Fatal(err)
 	}

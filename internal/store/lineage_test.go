@@ -1,0 +1,94 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSetParentRecordsLineage checks that SetParent writes the lineage
+// into the branch's manifest, that it survives later manifest rewrites
+// (saves and prunes both rewrite the manifest), and that the guards —
+// missing parent version, self-parenting, re-parenting — all reject.
+func TestSetParentRecordsLineage(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parent, branch = "base/maxent", "fork/maxent"
+	pv := savedVersions(t, st, parent, 2)
+	savedVersions(t, st, branch, 1)
+
+	if err := st.SetParent(branch, Lineage{Dataset: parent, Version: 99}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetParent with missing parent version: err=%v, want ErrNotFound", err)
+	}
+	if err := st.SetParent(branch, Lineage{Dataset: branch, Version: 1}); err == nil {
+		t.Fatal("SetParent allowed a dataset to be its own parent")
+	}
+
+	want := Lineage{Dataset: parent, Version: pv[1]}
+	if err := st.SetParent(branch, want); err != nil {
+		t.Fatal(err)
+	}
+	man, err := st.Versions(branch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Parent == nil || *man.Parent != want {
+		t.Fatalf("manifest parent = %v, want %v", man.Parent, want)
+	}
+
+	// Setting the identical parent again is idempotent; a different one
+	// is history rewriting and must fail.
+	if err := st.SetParent(branch, want); err != nil {
+		t.Fatalf("idempotent SetParent failed: %v", err)
+	}
+	if err := st.SetParent(branch, Lineage{Dataset: parent, Version: pv[0]}); err == nil {
+		t.Fatal("SetParent overwrote an existing different parent")
+	}
+
+	// Lineage must survive a manifest rewrite driven by a new save.
+	savedVersions(t, st, branch, 1)
+	man, err = st.Versions(branch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Parent == nil || *man.Parent != want {
+		t.Fatalf("manifest parent after save = %v, want %v", man.Parent, want)
+	}
+}
+
+// TestPruneNeverRemovesForkPoint is the branch-safety regression test:
+// a version recorded as another dataset's lineage parent is implicitly
+// pinned, so pruning the parent dataset must keep the fork point even
+// when it falls outside the newest keep.
+func TestPruneNeverRemovesForkPoint(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parent, branch = "base/maxent", "fork/maxent"
+	pv := savedVersions(t, st, parent, 4) // v1..v4
+	savedVersions(t, st, branch, 1)
+	fork := Lineage{Dataset: parent, Version: pv[1]} // forked at v2
+	if err := st.SetParent(branch, fork); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := st.Prune(parent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, sn := range removed {
+		got[sn.Version] = true
+	}
+	if !got[pv[0]] || !got[pv[2]] || len(removed) != 2 {
+		t.Fatalf("prune removed %v, want exactly v%d and v%d", removed, pv[0], pv[2])
+	}
+	if _, _, err := st.Load(parent, fork.Version); err != nil {
+		t.Fatalf("fork point v%d was pruned: %v", fork.Version, err)
+	}
+	if _, _, err := st.Load(parent, pv[3]); err != nil {
+		t.Fatalf("newest version v%d missing after prune: %v", pv[3], err)
+	}
+}

@@ -89,10 +89,22 @@ type SnapshotInfo struct {
 	CreatedAt time.Time `json:"created_at"`
 }
 
+// Lineage names the snapshot a branched dataset was forked from: the
+// parent dataset key and the parent version that is the branch's fork
+// point. It is recorded in the branch's manifest so tooling can walk the
+// version DAG, and so Prune on the parent treats the fork point as
+// implicitly pinned (a branch whose origin snapshot is gone can no longer
+// be diffed against, or re-forked from, where it diverged).
+type Lineage struct {
+	Dataset string `json:"dataset"`
+	Version int    `json:"version"`
+}
+
 // Manifest lists the live snapshots of one dataset key, ascending by
-// version.
+// version. Parent, when set, records the branch lineage (see Lineage).
 type Manifest struct {
 	Dataset   string         `json:"dataset"`
+	Parent    *Lineage       `json:"parent,omitempty"`
 	Snapshots []SnapshotInfo `json:"snapshots"`
 }
 
@@ -447,6 +459,49 @@ func (s *Store) Versions(dataset string) (Manifest, error) {
 	return s.readManifest(dataset)
 }
 
+// SetParent records branch lineage in the dataset's manifest: the parent
+// snapshot the dataset was forked from. The parent snapshot must exist,
+// and the dataset must already have a manifest (fork first, then record
+// parentage). Lineage is immutable once set — re-parenting a branch would
+// silently rewrite history, so SetParent refuses to overwrite a different
+// existing parent.
+func (s *Store) SetParent(dataset string, parent Lineage) error {
+	if err := validateKey(dataset); err != nil {
+		return err
+	}
+	if err := validateKey(parent.Dataset); err != nil {
+		return err
+	}
+	if dataset == parent.Dataset {
+		return fmt.Errorf("store: dataset %q cannot be its own lineage parent", dataset)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pman, err := s.readManifest(parent.Dataset)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, sn := range pman.Snapshots {
+		if sn.Version == parent.Version {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("store: lineage parent %q has no version %d: %w", parent.Dataset, parent.Version, ErrNotFound)
+	}
+	man, err := s.readManifest(dataset)
+	if err != nil {
+		return err
+	}
+	if man.Parent != nil && *man.Parent != parent {
+		return fmt.Errorf("store: dataset %q already has lineage parent %s v%d", dataset, man.Parent.Dataset, man.Parent.Version)
+	}
+	man.Parent = &parent
+	return s.writeManifest(dataset, man)
+}
+
 // List walks the store and returns every dataset manifest, sorted by
 // dataset key.
 func (s *Store) List() ([]Manifest, error) {
@@ -482,7 +537,10 @@ func (s *Store) List() ([]Manifest, error) {
 // Versions pinned by a live serving process (see Pin) are never removed,
 // even when they fall outside the newest keep: pruning the snapshot a
 // registry entry is currently serving would leave a restart with nothing
-// to restore that entry from.
+// to restore that entry from. Versions recorded as another dataset's
+// lineage parent (see SetParent) are implicitly pinned for the same
+// reason: removing a branch's fork point would orphan the branch's
+// history.
 func (s *Store) Prune(dataset string, keep int) ([]SnapshotInfo, error) {
 	if err := validateKey(dataset); err != nil {
 		return nil, err
@@ -500,12 +558,16 @@ func (s *Store) Prune(dataset string, keep int) ([]SnapshotInfo, error) {
 	if len(man.Snapshots) <= keep {
 		return nil, nil
 	}
+	forks, err := s.forkPoints(dataset)
+	if err != nil {
+		return nil, err
+	}
 	cut := len(man.Snapshots) - keep
 	var removed []SnapshotInfo
 	drop := make(map[int]bool, cut)
 	pinned := s.pins[dataset]
 	for _, sn := range man.Snapshots[:cut] {
-		if pinned[sn.Version] > 0 {
+		if pinned[sn.Version] > 0 || forks[sn.Version] {
 			continue
 		}
 		removed = append(removed, sn)
@@ -527,6 +589,43 @@ func (s *Store) Prune(dataset string, keep int) ([]SnapshotInfo, error) {
 		}
 	}
 	return removed, nil
+}
+
+// forkPoints walks every manifest in the store and returns the versions
+// of dataset that some other dataset records as its lineage parent. Prune
+// treats these as implicitly pinned. Callers hold s.mu.
+func (s *Store) forkPoints(dataset string) (map[int]bool, error) {
+	out := make(map[int]bool)
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || d.Name() != manifestName {
+			return nil
+		}
+		rel, err := filepath.Rel(s.dir, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		child := filepath.ToSlash(rel)
+		if child == dataset {
+			return nil
+		}
+		man, err := s.readManifest(child)
+		if err != nil {
+			// A damaged sibling manifest must not unblock pruning a fork
+			// point it might have recorded — fail closed.
+			return err
+		}
+		if man.Parent != nil && man.Parent.Dataset == dataset {
+			out[man.Parent.Version] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning lineage before prune: %w", err)
+	}
+	return out, nil
 }
 
 // --- manifest ---------------------------------------------------------

@@ -1,0 +1,109 @@
+package summary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// AttrDrift reports how far one attribute's marginal distribution moved
+// between two summaries. TotalVariation is the total-variation distance
+// between the normalized 1D marginals (0 = identical shape, 1 = disjoint
+// support); MeanRelError and MaxRelError aggregate the symmetric relative
+// error of Sec. 6.2 (metrics.RelativeError) across the attribute's
+// buckets, computed on the normalized marginals so dataset growth alone
+// does not read as drift.
+type AttrDrift struct {
+	Attr           string  `json:"attr"`
+	TotalVariation float64 `json:"total_variation"`
+	MeanRelError   float64 `json:"mean_rel_error"`
+	MaxRelError    float64 `json:"max_rel_error"`
+}
+
+// DiffReport is the result of Diff: per-attribute drift plus aggregates.
+// All measures are symmetric in the two arguments, and a summary diffed
+// against itself reports zero everywhere.
+type DiffReport struct {
+	// RowsA and RowsB are the summarized row counts N of the two sides.
+	RowsA float64 `json:"rows_a"`
+	RowsB float64 `json:"rows_b"`
+	// Attrs holds one drift entry per schema attribute, in schema order.
+	Attrs []AttrDrift `json:"attrs"`
+	// MeanTotalVariation and MaxTotalVariation aggregate Attrs; MaxDriftAttr
+	// names the attribute attaining the max.
+	MeanTotalVariation float64 `json:"mean_total_variation"`
+	MaxTotalVariation  float64 `json:"max_total_variation"`
+	MaxDriftAttr       string  `json:"max_drift_attr,omitempty"`
+}
+
+// Diff compares the per-attribute marginal distributions maintained by
+// two summaries — the same complete 1D statistics the solver fits and the
+// streaming-drift experiment scores against — and reports how far each
+// attribute drifted. The summaries must describe the same schema
+// (attribute names and domain sizes); they need not have the same row
+// count, since marginals are normalized before comparison.
+func Diff(a, b *Summary) (DiffReport, error) {
+	if a == nil || b == nil {
+		return DiffReport{}, fmt.Errorf("summary: diff requires two summaries")
+	}
+	sa, sb := a.Schema(), b.Schema()
+	if sa.NumAttrs() != sb.NumAttrs() {
+		return DiffReport{}, fmt.Errorf("summary: diff schemas differ: %d vs %d attributes", sa.NumAttrs(), sb.NumAttrs())
+	}
+	for i := 0; i < sa.NumAttrs(); i++ {
+		aa, ab := sa.Attr(i), sb.Attr(i)
+		if aa.Name() != ab.Name() || aa.Size() != ab.Size() {
+			return DiffReport{}, fmt.Errorf("summary: diff schemas differ at attribute %d: %s[%d] vs %s[%d]",
+				i, aa.Name(), aa.Size(), ab.Name(), ab.Size())
+		}
+	}
+
+	rep := DiffReport{RowsA: a.N(), RowsB: b.N(), Attrs: make([]AttrDrift, 0, sa.NumAttrs())}
+	oneA, oneB := a.Stats().OneD, b.Stats().OneD
+	for i := 0; i < sa.NumAttrs(); i++ {
+		pa, pb := normalize(oneA[i]), normalize(oneB[i])
+		drift := AttrDrift{Attr: sa.Attr(i).Name()}
+		errs := make([]float64, len(pa))
+		tv := 0.0
+		for v := range pa {
+			tv += math.Abs(pa[v] - pb[v])
+			e := metrics.RelativeError(pa[v], pb[v])
+			errs[v] = e
+			if e > drift.MaxRelError {
+				drift.MaxRelError = e
+			}
+		}
+		drift.TotalVariation = tv / 2
+		drift.MeanRelError = metrics.Mean(errs)
+		rep.Attrs = append(rep.Attrs, drift)
+		if drift.TotalVariation > rep.MaxTotalVariation {
+			rep.MaxTotalVariation = drift.TotalVariation
+			rep.MaxDriftAttr = drift.Attr
+		}
+	}
+	tvs := make([]float64, len(rep.Attrs))
+	for i, d := range rep.Attrs {
+		tvs[i] = d.TotalVariation
+	}
+	rep.MeanTotalVariation = metrics.Mean(tvs)
+	return rep, nil
+}
+
+// normalize returns counts scaled to sum to 1 (all-zero input stays
+// all-zero, so an empty marginal diffs as identical to another empty
+// marginal rather than producing NaNs).
+func normalize(counts []float64) []float64 {
+	sum := 0.0
+	for _, c := range counts {
+		sum += c
+	}
+	out := make([]float64, len(counts))
+	if sum == 0 {
+		return out
+	}
+	for v, c := range counts {
+		out[v] = c / sum
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// TestDiffSelfIsZero: a summary diffed against itself reports zero drift
+// on every attribute and every aggregate.
+func TestDiffSelfIsZero(t *testing.T) {
+	sum := buildSolved(t, testRelation(t, 2000, 7), Options{})
+	rep, err := Diff(sum, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsA != sum.N() || rep.RowsB != sum.N() {
+		t.Errorf("rows = %g/%g, want %g", rep.RowsA, rep.RowsB, sum.N())
+	}
+	if len(rep.Attrs) != sum.Schema().NumAttrs() {
+		t.Fatalf("got %d attr entries, want %d", len(rep.Attrs), sum.Schema().NumAttrs())
+	}
+	for _, d := range rep.Attrs {
+		if d.TotalVariation != 0 || d.MeanRelError != 0 || d.MaxRelError != 0 {
+			t.Errorf("self-diff attr %s reports drift %+v", d.Attr, d)
+		}
+	}
+	if rep.MeanTotalVariation != 0 || rep.MaxTotalVariation != 0 || rep.MaxDriftAttr != "" {
+		t.Errorf("self-diff aggregates nonzero: %+v", rep)
+	}
+}
+
+// TestDiffIsSymmetric: Diff(a, b) and Diff(b, a) agree on every drift
+// number (rows swap sides).
+func TestDiffIsSymmetric(t *testing.T) {
+	a := buildSolved(t, testRelation(t, 2000, 7), Options{})
+	b := buildSolved(t, testRelation(t, 3000, 8), Options{})
+	ab, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Diff(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.RowsA != ba.RowsB || ab.RowsB != ba.RowsA {
+		t.Errorf("rows did not swap: %+v vs %+v", ab, ba)
+	}
+	for i := range ab.Attrs {
+		x, y := ab.Attrs[i], ba.Attrs[i]
+		if x.TotalVariation != y.TotalVariation || x.MeanRelError != y.MeanRelError || x.MaxRelError != y.MaxRelError {
+			t.Errorf("attr %s asymmetric: %+v vs %+v", x.Attr, x, y)
+		}
+	}
+	if ab.MeanTotalVariation != ba.MeanTotalVariation || ab.MaxTotalVariation != ba.MaxTotalVariation {
+		t.Errorf("aggregates asymmetric: %+v vs %+v", ab, ba)
+	}
+	if ab.MaxTotalVariation <= 0 {
+		t.Error("different relations should report nonzero drift")
+	}
+}
+
+// TestDiffDetectsShiftedMarginal: shifting one attribute's distribution
+// moves that attribute's drift, leaves identical attributes at zero, and
+// stays in [0, 1].
+func TestDiffDetectsShiftedMarginal(t *testing.T) {
+	sch := schema.MustNew(
+		schema.MustCategorical("stable", []string{"u", "v"}),
+		schema.MustCategorical("moved", []string{"x", "y"}),
+	)
+	mk := func(movedSplit int) *relation.Relation {
+		rel := relation.NewWithCapacity(sch, 100)
+		for i := 0; i < 100; i++ {
+			m := 0
+			if i < movedSplit {
+				m = 1
+			}
+			rel.MustAppend([]int{i % 2, m})
+		}
+		return rel
+	}
+	a := buildSolved(t, mk(50), Options{})
+	b := buildSolved(t, mk(90), Options{})
+	rep, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stable, moved AttrDrift
+	for _, d := range rep.Attrs {
+		switch d.Attr {
+		case "stable":
+			stable = d
+		case "moved":
+			moved = d
+		}
+	}
+	if stable.TotalVariation > 1e-12 {
+		t.Errorf("stable attribute drifted: %+v", stable)
+	}
+	// 50/50 → 10/90: TV = (|0.5−0.1| + |0.5−0.9|)/2 = 0.4 exactly.
+	if math.Abs(moved.TotalVariation-0.4) > 1e-12 {
+		t.Errorf("moved TV = %g, want 0.4", moved.TotalVariation)
+	}
+	if rep.MaxDriftAttr != "moved" {
+		t.Errorf("MaxDriftAttr = %q, want moved", rep.MaxDriftAttr)
+	}
+}
+
+// TestDiffRejectsMismatchedSchemas: diffing across different schemas is
+// an error, not a garbage report.
+func TestDiffRejectsMismatchedSchemas(t *testing.T) {
+	a := buildSolved(t, testRelation(t, 500, 1), Options{})
+	schB := schema.MustNew(schema.MustCategorical("other", []string{"x", "y"}))
+	relB := relation.NewWithCapacity(schB, 10)
+	for i := 0; i < 10; i++ {
+		relB.MustAppend([]int{i % 2})
+	}
+	b := buildSolved(t, relB, Options{})
+	if _, err := Diff(a, b); err == nil {
+		t.Fatal("Diff accepted mismatched schemas")
+	}
+	if _, err := Diff(a, nil); err == nil {
+		t.Fatal("Diff accepted a nil summary")
+	}
+}
