@@ -10,8 +10,9 @@
 //	go run ./cmd/experiment -seed 1 > report.json
 //	go run ./cmd/cigates golden -golden testdata/golden_report.json -current report.json
 //
-// API docs gate (fails when a registered HTTP route or a summaryd/loadgen
-// flag is missing from docs/API.md — run from the repository root):
+// API docs gate (fails when a registered HTTP route — summaryd's or the
+// fleet router's — or a summaryd/summaryrouter/loadgen flag is missing
+// from docs/API.md — run from the repository root):
 //
 //	go run ./cmd/cigates docs -doc docs/API.md
 //
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/ci"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -51,7 +53,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cigates bench -baseline FILE -current FILE [-tolerance 0.30]")
 	fmt.Fprintln(os.Stderr, "       cigates golden -golden FILE -current FILE [-tolerance 1e-9]")
-	fmt.Fprintln(os.Stderr, "       cigates docs [-doc docs/API.md] [-cmds cmd/summaryd/main.go,cmd/loadgen/main.go]")
+	fmt.Fprintln(os.Stderr, "       cigates docs [-doc docs/API.md] [-cmds cmd/summaryd/main.go,cmd/summaryrouter/main.go,cmd/loadgen/main.go]")
 	os.Exit(2)
 }
 
@@ -135,13 +137,14 @@ func goldenGate(args []string) {
 }
 
 // docsGate fails when the serving surface outgrew its documentation: the
-// route inventory comes from server.Routes() (the mux's own registration
-// list, so a new endpoint is picked up automatically) and the flag
-// inventory is parsed out of the command sources.
+// route inventory comes from server.Routes() and fleet.Router.Routes()
+// (each mux's own registration list, so a new endpoint on either tier is
+// picked up automatically) and the flag inventory is parsed out of the
+// command sources.
 func docsGate(args []string) {
 	fs := flag.NewFlagSet("docs", flag.ExitOnError)
 	doc := fs.String("doc", "docs/API.md", "API reference every route and flag must appear in")
-	cmds := fs.String("cmds", "cmd/summaryd/main.go,cmd/loadgen/main.go",
+	cmds := fs.String("cmds", "cmd/summaryd/main.go,cmd/summaryrouter/main.go,cmd/loadgen/main.go",
 		"comma-separated command sources whose flags must be documented")
 	_ = fs.Parse(args)
 
@@ -151,6 +154,21 @@ func docsGate(args []string) {
 		os.Exit(2)
 	}
 	routes := server.New(server.NewRegistry(), server.Options{}).Routes()
+	router, err := fleet.NewRouter([]fleet.NodeConfig{{Name: "node0", URL: "http://127.0.0.1:0"}}, fleet.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigates docs: %v\n", err)
+		os.Exit(2)
+	}
+	seen := make(map[string]bool, len(routes))
+	for _, r := range routes {
+		seen[r] = true
+	}
+	for _, r := range router.Routes() {
+		if !seen[r] {
+			seen[r] = true
+			routes = append(routes, r)
+		}
+	}
 	flags := make(map[string][]string)
 	totalFlags := 0
 	for _, path := range strings.Split(*cmds, ",") {

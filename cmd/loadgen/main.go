@@ -18,7 +18,10 @@
 // N instead of the live estimators (time travel; needs a summaryd started
 // with -store). -version-mix 0,1,2 instead cycles requests through a list
 // of versions (0 = live), stressing the server's historical-estimator
-// cache with a mixed live/time-travel workload.
+// cache with a mixed live/time-travel workload. The two are mutually
+// exclusive, as are ingest mixes with batching or versioned reads;
+// experiment.LoadOptions.Validate is the single authority on which flag
+// combinations are accepted.
 //
 //	go run ./cmd/summaryd &
 //	go run ./cmd/loadgen -addr http://localhost:8080 -estimator demo/maxent -requests 2000
@@ -36,7 +39,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -75,53 +77,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: -ingest-every must be non-negative and -ingest-batch positive\n")
 		os.Exit(2)
 	}
-	if *batch < 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: -batch must be non-negative, got %d\n", *batch)
-		os.Exit(2)
-	}
-	if *wire != "json" && *wire != "binary" {
-		fmt.Fprintf(os.Stderr, "loadgen: -wire must be json or binary, got %q\n", *wire)
-		os.Exit(2)
-	}
-	if *batch > 1 && *ingestEvery > 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: -batch and -ingest-every are mutually exclusive\n")
-		os.Exit(2)
-	}
-	if *version < 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: -version must be non-negative, got %d\n", *version)
-		os.Exit(2)
-	}
-	var mixVersions []int
-	if *versionMix != "" {
-		for _, part := range strings.Split(*versionMix, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || v < 0 {
-				fmt.Fprintf(os.Stderr, "loadgen: -version-mix entries must be non-negative integers, got %q\n", part)
-				os.Exit(2)
-			}
-			mixVersions = append(mixVersions, v)
-		}
-	}
-	if (*version > 0 || len(mixVersions) > 0) && *ingestEvery > 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: versioned reads and -ingest-every are mutually exclusive (snapshots are immutable)\n")
+	mixVersions, err := experiment.ParseVersionMix(*versionMix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -version-mix: %v\n", err)
 		os.Exit(2)
 	}
 
-	sch, err := discoverSchema(*addr, *estimator)
-	if err != nil {
-		log.Fatalf("loadgen: %v", err)
-	}
-	workload := experiment.GenerateWorkload(sch, *queries, rand.New(rand.NewSource(*seed)))
-	repeat := 1
-	if *requests > 0 && *requests < len(workload) {
-		// Fewer requests than distinct queries: send a prefix once.
-		workload = workload[:*requests]
-	} else if *requests > *queries {
-		repeat = (*requests + *queries - 1) / *queries
-	}
+	// Assemble the full option set and reject contradictory flag combos in
+	// one place (experiment.LoadOptions.Validate) BEFORE touching the
+	// network — bad flags must fail instantly, not after discovery. The
+	// ingest row pool is schema-dependent and filled in after discovery.
 	opts := experiment.LoadOptions{
 		Concurrency: *concurrency,
-		Repeat:      repeat,
 		Timeout:     *timeout,
 		Batch:       *batch,
 		Wire:        *wire,
@@ -136,6 +103,30 @@ func main() {
 				dataset = dataset[:i]
 			}
 		}
+		opts.Ingest = &experiment.IngestMix{
+			Dataset: dataset,
+			Every:   *ingestEvery,
+			Batch:   *ingestBatch,
+		}
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	sch, err := discoverSchema(*addr, *estimator)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	workload := experiment.GenerateWorkload(sch, *queries, rand.New(rand.NewSource(*seed)))
+	opts.Repeat = 1
+	if *requests > 0 && *requests < len(workload) {
+		// Fewer requests than distinct queries: send a prefix once.
+		workload = workload[:*requests]
+	} else if *requests > *queries {
+		opts.Repeat = (*requests + *queries - 1) / *queries
+	}
+	if opts.Ingest != nil {
 		// A pool of random schema-compatible rows; batches rotate through
 		// it, so the ingested distribution is uniform over the domains.
 		rng := rand.New(rand.NewSource(*seed + 11))
@@ -147,12 +138,7 @@ func main() {
 			}
 			pool[i] = row
 		}
-		opts.Ingest = &experiment.IngestMix{
-			Dataset: dataset,
-			Every:   *ingestEvery,
-			Batch:   *ingestBatch,
-			Rows:    pool,
-		}
+		opts.Ingest.Rows = pool
 	}
 	res, err := experiment.DriveHTTP(*addr, *estimator, workload, opts)
 	if err != nil {

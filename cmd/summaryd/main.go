@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/solver"
@@ -90,6 +91,10 @@ func main() {
 		refreshRows = flag.Int("refresh-rows", 1000, "hot-swap refreshed estimators once this many ingested rows are pending (0 disables threshold refreshes)")
 		refreshIvl  = flag.Duration("refresh-interval", 0, "additionally refresh pending ingested rows on this period (0 disables)")
 		histBytes   = flag.Int64("history-cache-bytes", 0, "byte budget of the historical-estimator cache behind ?version=N time-travel queries (0 selects 4 MiB; needs -store)")
+		nodeName    = flag.String("node-name", "", "fleet identity reported on /healthz and /metrics (required with -peer)")
+		peer        = flag.String("peer", "", "replica mode: pull snapshots from this summaryd base URL instead of building (needs -store; disables the build pipeline and ingestion)")
+		syncIvl     = flag.Duration("sync-interval", 2*time.Second, "replica snapshot poll period (with -peer; /sync/notify wakes it early)")
+		placeParts  = flag.Bool("place-partitions", false, "expose each partition of the partitioned summary as its own estimator (<dataset>/partitioned.p<k>) and snapshot them, so a summaryrouter placement can scatter partitions across a fleet (needs -partitions and -store)")
 	)
 	flag.Parse()
 
@@ -107,6 +112,22 @@ func main() {
 	}
 	if *histBytes < 0 {
 		fmt.Fprintf(os.Stderr, "summaryd: -history-cache-bytes must be non-negative, got %d\n", *histBytes)
+		os.Exit(2)
+	}
+	if *peer != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "summaryd: -peer needs -store (replicas import snapshots into a local store)")
+		os.Exit(2)
+	}
+	if *peer != "" && *nodeName == "" {
+		fmt.Fprintln(os.Stderr, "summaryd: -peer needs -node-name (replicas must be identifiable in fleet metrics)")
+		os.Exit(2)
+	}
+	if *syncIvl <= 0 {
+		fmt.Fprintf(os.Stderr, "summaryd: -sync-interval must be positive, got %v\n", *syncIvl)
+		os.Exit(2)
+	}
+	if *placeParts && (*partitions <= 0 || *storeDir == "") {
+		fmt.Fprintln(os.Stderr, "summaryd: -place-partitions needs -partitions > 0 and -store (partition entries are served from snapshots fleet-wide)")
 		os.Exit(2)
 	}
 	h, err := stats.ParseHeuristic(*heuristic)
@@ -150,7 +171,9 @@ func main() {
 		_, haveMaxent := reg.Get(*dataset + "/maxent")
 		_, havePartitioned := reg.Get(*dataset + "/partitioned")
 		fromSnapshot = haveMaxent && (*partitions == 0 || havePartitioned)
-		if !fromSnapshot {
+		// A replica serves whatever it restored and syncs the rest; only a
+		// building node drops a partial restore to rebuild cleanly.
+		if !fromSnapshot && *peer == "" {
 			for _, name := range restored {
 				if strings.HasPrefix(name, *dataset+"/") {
 					reg.Unregister(name)
@@ -181,11 +204,17 @@ func main() {
 	// exactly the relation the restored summaries cover.
 	mut := relation.NewMutable(experiment.SyntheticRelation(*rows, rand.New(rand.NewSource(*seed))))
 	var live *server.Live
+	var syncer *fleet.Syncer
 
 	// Build the configured dataset only when the store did not already
 	// provide its summaries — the restartable-service path: the solver is
-	// re-run exclusively on the first start.
-	if fromSnapshot {
+	// re-run exclusively on the first start. A replica never builds: it
+	// pulls every snapshot version off its peer and hot-swaps the latest
+	// in, so the solver runs on exactly one node of a fleet.
+	if *peer != "" {
+		syncer = fleet.NewSyncer(*peer, st, reg, fleet.SyncerOptions{Interval: *syncIvl})
+		log.Printf("replica mode: pulling snapshots from %s every %v (POST /sync/notify wakes the pull early)", *peer, *syncIvl)
+	} else if fromSnapshot {
 		log.Printf("dataset %q: serving from snapshot, skipping build", *dataset)
 		if *rate > 0 || !*noExact {
 			log.Printf("dataset %q: note: the exact engine and sampling baselines are data-bound and cannot be restored from snapshots; pass -rate 0 -no-exact to silence", *dataset)
@@ -212,13 +241,42 @@ func main() {
 		log.Printf("built %d estimators in %v: %v", len(names), time.Since(buildStart).Round(time.Millisecond), names)
 	}
 
-	srv := server.New(reg, server.Options{
+	// Partition placement: serve each partition under its own name and
+	// snapshot it, so replicas pull the pieces and a router placement can
+	// scatter a partitioned query across the fleet. Restored partition
+	// entries (a restart, or a replica syncing them) are already in place.
+	if *placeParts && *peer == "" {
+		if _, ok := reg.Get(server.PartitionEntryName(*dataset, 0)); !ok {
+			names, err := server.ExposePartitions(reg, *dataset)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, name := range names {
+				if ent, ok := reg.Get(name); ok {
+					if _, err := st.Save(name, ent.Estimator); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			log.Printf("dataset %q: exposed %d partition entries for fleet placement: %v", *dataset, len(names), names)
+		}
+	}
+
+	srvOpts := server.Options{
 		Timeout:       *timeout,
 		MaxConcurrent: *maxConc,
 		CacheSize:     *cacheSize,
 		Store:         st,
 		HistoryBytes:  *histBytes,
-	})
+		NodeName:      *nodeName,
+	}
+	if syncer != nil {
+		srvOpts.SyncNotify = syncer.Notify
+	}
+	srv := server.New(reg, srvOpts)
+	if syncer != nil {
+		syncer.AttachCache(srv.Cache())
+	}
 	if live != nil {
 		srv.AttachLive(live)
 		log.Printf("dataset %q: live ingestion on POST /ingest/%s (refresh threshold %d rows, interval %v)",
@@ -228,6 +286,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The replica pull loop lives for the whole process and dies with it.
+	if syncer != nil {
+		go syncer.Run(ctx)
+	}
 
 	// The refresh-interval ticker folds pending ingested rows in even when
 	// traffic never crosses the row threshold (Refresh no-ops when nothing

@@ -1,0 +1,178 @@
+// Command summaryrouter is the fleet coordinator: it fronts a replica
+// set of summaryd nodes and serves the same HTTP surface, routing each
+// request with health-aware, load-aware node selection. Reads go to the
+// least-loaded node whose circuit breaker passes traffic and are retried
+// with backoff across peers on replica failure (transport errors and
+// 502/503/504); writes — POST /ingest/{dataset}, POST /snapshots/{dataset},
+// POST /branch/{parent} — go to the primary (the first -nodes entry)
+// exactly once, and a write that published new snapshot versions fans a
+// POST /sync/notify out to the replicas so the fleet converges within one
+// round trip instead of one poll interval.
+//
+// Large POST /query/batch bodies (JSON or binary, -fanout-batch items and
+// up) are dealt round-robin across the healthy nodes, shipped as binary
+// sub-frames, and reassembled in the original item order — positionally
+// and bitwise identical to a single node's answer stream.
+//
+// -place dataset=K declares a partitioned placement: a count or group-by
+// query against "<dataset>/partitioned" is scattered as K per-partition
+// queries across the fleet and merged on the router (counts summed in
+// partition index order, group-bys merged like summary.Partitioned does
+// locally), so the distributed answer is bit-identical to one node's. The
+// nodes must serve the partition entries — start the primary summaryd
+// with -partitions K -place-partitions.
+//
+// Endpoints: the proxied summaryd surface (GET/POST /query,
+// POST /query/batch, POST /groupby, GET /estimators, GET /snapshots,
+// POST /snapshots/{dataset}, POST /ingest/{dataset}, POST /branch/{parent},
+// GET /diff/{dataset}) plus the router's own GET /healthz and GET /metrics
+// reporting per-node breaker state, in-flight load, and retry counters.
+// See docs/FLEET.md for the full topology walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "listen address")
+		nodes        = flag.String("nodes", "", "comma-separated replica set, primary first: URL or name=URL per node (e.g. http://a:8080,replica1=http://b:8080)")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-attempt proxy timeout")
+		retries      = flag.Int("retries", 0, "extra attempts per retryable request (0 selects one per remaining node)")
+		retryBackoff = flag.Duration("retry-backoff", 10*time.Millisecond, "pause before the first retry, doubled per subsequent retry")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive failures that open a node's circuit breaker")
+		brkCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker sheds traffic before probing the node again")
+		maxBody      = flag.Int64("max-body-bytes", 1<<20, "proxied request body cap in bytes (bodies are buffered for retries)")
+		fanoutBatch  = flag.Int("fanout-batch", 64, "batch size at and above which /query/batch fans out across healthy nodes (-1 forwards every batch whole)")
+		place        = flag.String("place", "", "comma-separated partitioned placements, dataset=K each: scatter <dataset>/partitioned queries as K per-partition queries across the fleet")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	cfgs, err := parseNodes(*nodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summaryrouter: %v\n", err)
+		os.Exit(2)
+	}
+	placements, err := parsePlacements(*place)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summaryrouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	rt, err := fleet.NewRouter(cfgs, fleet.Options{
+		Timeout:          *timeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		MaxBodyBytes:     *maxBody,
+		FanoutBatch:      *fanoutBatch,
+		Placements:       placements,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summaryrouter: %v\n", err)
+		os.Exit(2)
+	}
+	for i, nc := range cfgs {
+		role := "replica"
+		if i == 0 {
+			role = "primary"
+		}
+		log.Printf("node %s (%s): %s", nc.Name, role, nc.URL)
+	}
+	for dataset, k := range placements {
+		log.Printf("placement: %s/partitioned scatters %d partitions", dataset, k)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d nodes on %s", len(cfgs), *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// parseNodes decodes the -nodes list: "URL" or "name=URL" per entry,
+// comma-separated, primary first. Unnamed nodes get node<i> names.
+func parseNodes(spec string) ([]fleet.NodeConfig, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("-nodes is required: a comma-separated replica set, primary first")
+	}
+	var cfgs []fleet.NodeConfig
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("-nodes entry %d is empty", i)
+		}
+		nc := fleet.NodeConfig{Name: fmt.Sprintf("node%d", i), URL: entry}
+		// name=URL form: split on the first '=' unless the value is a bare
+		// URL (no '=' before "://").
+		if eq := strings.Index(entry, "="); eq >= 0 && (strings.Index(entry, "://") < 0 || eq < strings.Index(entry, "://")) {
+			name := strings.TrimSpace(entry[:eq])
+			url := strings.TrimSpace(entry[eq+1:])
+			if name == "" || url == "" {
+				return nil, fmt.Errorf("-nodes entry %d: want name=URL, got %q", i, entry)
+			}
+			nc = fleet.NodeConfig{Name: name, URL: url}
+		}
+		if !strings.Contains(nc.URL, "://") {
+			return nil, fmt.Errorf("-nodes entry %d: %q is not a URL (want e.g. http://host:8080)", i, nc.URL)
+		}
+		cfgs = append(cfgs, nc)
+	}
+	return cfgs, nil
+}
+
+// parsePlacements decodes -place: "dataset=K" entries, comma-separated.
+func parsePlacements(spec string) (map[string]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		name, val, ok := strings.Cut(entry, "=")
+		if !ok || strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("-place entry %d: want dataset=K, got %q", i, entry)
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("-place entry %d: partition count %q must be a positive integer", i, val)
+		}
+		if _, dup := out[strings.TrimSpace(name)]; dup {
+			return nil, fmt.Errorf("-place entry %d: duplicate dataset %q", i, name)
+		}
+		out[strings.TrimSpace(name)] = k
+	}
+	return out, nil
+}

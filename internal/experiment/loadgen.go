@@ -152,14 +152,11 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
-	if err := opts.validVersions(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Batch > 1 {
 		return driveBatched(baseURL, estimator, workload, opts)
-	}
-	if opts.Wire == "binary" {
-		return nil, fmt.Errorf("experiment: the binary wire requires batching (-batch > 1)")
 	}
 
 	// Pre-marshal every request body once so the measured path is pure
@@ -389,16 +386,10 @@ func newLoadClient(opts LoadOptions) *http.Client {
 // and replayed Repeat times. Accounting is per query (Requests,
 // ThroughputQPS) with latency quantiles per round trip.
 func driveBatched(baseURL, estimator string, workload []Query, opts LoadOptions) (*LoadResult, error) {
+	// Wire and mix combinations were already vetted by Validate.
 	wire := opts.Wire
-	switch wire {
-	case "", "json":
+	if wire == "" || wire == "json" {
 		wire = "json"
-	case "binary":
-	default:
-		return nil, fmt.Errorf("experiment: unknown wire %q (use json or binary)", opts.Wire)
-	}
-	if opts.Ingest != nil && opts.Ingest.Every >= 1 {
-		return nil, fmt.Errorf("experiment: the ingest mix requires unbatched mode")
 	}
 	contentType := "application/json"
 	if wire == "binary" {

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseVersionMix decodes a comma-separated snapshot-version list
+// ("0,1,2"; 0 = live) into the LoadOptions.VersionMix slice. An empty
+// spec is no mix at all.
+func ParseVersionMix(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var mix []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("experiment: version mix entries must be non-negative integers, got %q", part)
+		}
+		mix = append(mix, v)
+	}
+	return mix, nil
+}
+
+// Validate rejects contradictory load configurations in one place — the
+// single source of truth for which LoadOptions combinations make sense,
+// shared by cmd/loadgen's flag surface and DriveHTTP's programmatic
+// callers. The zero value is valid.
+func (o *LoadOptions) Validate() error {
+	if o.Batch < 0 {
+		return fmt.Errorf("experiment: batch size must be non-negative, got %d", o.Batch)
+	}
+	switch o.Wire {
+	case "", "json":
+	case "binary":
+		if o.Batch <= 1 {
+			return fmt.Errorf("experiment: the binary wire requires batching (batch > 1)")
+		}
+	default:
+		return fmt.Errorf("experiment: unknown wire %q (use json or binary)", o.Wire)
+	}
+	if err := o.validVersions(); err != nil {
+		return err
+	}
+	if o.Version > 0 && len(o.VersionMix) > 0 {
+		// Accepting both silently served the mix and ignored the fixed
+		// version — refuse the ambiguity instead.
+		return fmt.Errorf("experiment: a fixed version and a version mix are mutually exclusive (the mix already covers fixed versions)")
+	}
+	if o.Ingest != nil && o.Ingest.Every >= 1 {
+		if o.Batch > 1 {
+			return fmt.Errorf("experiment: the ingest mix requires unbatched mode")
+		}
+		if o.Version > 0 || len(o.VersionMix) > 0 {
+			return fmt.Errorf("experiment: versioned reads and an ingest mix are mutually exclusive (snapshots are immutable)")
+		}
+	}
+	return nil
+}

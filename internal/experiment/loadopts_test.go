@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseVersionMix(t *testing.T) {
+	got, err := ParseVersionMix(" 0, 1 ,2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("ParseVersionMix = %v, want [0 1 2]", got)
+	}
+	if got, err := ParseVersionMix(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v; want nil, nil", got, err)
+	}
+	if got, err := ParseVersionMix("   "); err != nil || got != nil {
+		t.Fatalf("blank spec: %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"0,x", "-1", "1,,2", "1.5"} {
+		if _, err := ParseVersionMix(bad); err == nil {
+			t.Fatalf("ParseVersionMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadOptionsValidate is the contradictory-combination table: every
+// flag pairing cmd/loadgen must refuse is refused HERE, in the one shared
+// Validate, so the CLI and programmatic callers cannot drift apart.
+func TestLoadOptionsValidate(t *testing.T) {
+	mix := &IngestMix{Dataset: "demo", Every: 5, Batch: 10}
+	cases := []struct {
+		name string
+		opts LoadOptions
+		want string // "" = valid; otherwise a substring of the error
+	}{
+		{"zero value", LoadOptions{}, ""},
+		{"plain versioned", LoadOptions{Version: 2}, ""},
+		{"plain mix", LoadOptions{VersionMix: []int{0, 1}}, ""},
+		{"json batch", LoadOptions{Batch: 16}, ""},
+		{"binary batch", LoadOptions{Batch: 16, Wire: "binary"}, ""},
+		{"batched mix", LoadOptions{Batch: 16, VersionMix: []int{0, 2}}, ""},
+		{"ingest mix", LoadOptions{Ingest: mix}, ""},
+		{"negative batch", LoadOptions{Batch: -1}, "non-negative"},
+		{"unknown wire", LoadOptions{Batch: 8, Wire: "protobuf"}, "unknown wire"},
+		{"binary without batch", LoadOptions{Wire: "binary"}, "requires batching"},
+		{"binary with batch 1", LoadOptions{Batch: 1, Wire: "binary"}, "requires batching"},
+		{"negative version", LoadOptions{Version: -1}, "non-negative"},
+		{"negative mix entry", LoadOptions{VersionMix: []int{0, -2}}, "non-negative"},
+		// The bug this table exists for: -version with -version-mix used to
+		// silently serve the mix and drop the fixed version.
+		{"version and mix", LoadOptions{Version: 1, VersionMix: []int{0, 2}}, "mutually exclusive"},
+		{"ingest with batch", LoadOptions{Batch: 8, Ingest: mix}, "unbatched"},
+		{"ingest with version", LoadOptions{Version: 1, Ingest: mix}, "mutually exclusive"},
+		{"ingest with mix", LoadOptions{VersionMix: []int{1}, Ingest: mix}, "mutually exclusive"},
+		{"dormant ingest with batch", LoadOptions{Batch: 8, Ingest: &IngestMix{Dataset: "demo"}}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDriveHTTPRejectsThroughValidate proves the programmatic entry point
+// refuses what Validate refuses — no second, drifting rule set.
+func TestDriveHTTPRejectsThroughValidate(t *testing.T) {
+	workload := []Query{{Name: "q0"}}
+	bad := []LoadOptions{
+		{Version: 1, VersionMix: []int{0, 2}},
+		{Wire: "binary"},
+		{Batch: 4, Ingest: &IngestMix{Dataset: "demo", Every: 2, Rows: [][]int{{0}}}},
+	}
+	for i, opts := range bad {
+		opts.Timeout = time.Second
+		if _, err := DriveHTTP("http://127.0.0.1:0", "demo/maxent", workload, opts); err == nil {
+			t.Errorf("case %d: DriveHTTP accepted options Validate rejects", i)
+		}
+	}
+}

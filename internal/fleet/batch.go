@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+// handleBatch proxies POST /query/batch on both wires. Small batches are
+// forwarded whole to one healthy node (with retry). At FanoutBatch items
+// and with more than one healthy node, the batch is dealt round-robin
+// across the healthy nodes, shipped as binary sub-frames, and the answers
+// are gathered back into the original item order — positionally identical
+// to a single-node answer stream, because every item is answered
+// independently by the same estimator bits wherever it lands.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), server.BinaryBatchContentType)
+	binaryResp := binaryReq
+	if accept := r.Header.Get("Accept"); accept != "" {
+		binaryResp = strings.Contains(accept, server.BinaryBatchContentType)
+	}
+
+	// Decode just enough to decide whether to fan out; malformed bodies
+	// are forwarded whole so the node's own error surface answers (one
+	// place decides what a malformed batch looks like).
+	var estimator string
+	var version int
+	var items []query.BatchItem
+	decodeOK := true
+	if binaryReq {
+		var err error
+		estimator, version, items, err = query.DecodeBatchAt(bytes.NewReader(body))
+		decodeOK = err == nil
+	} else {
+		var req server.BatchQueryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			decodeOK = false
+		} else {
+			estimator = req.Estimator
+			version = req.Version
+			items = make([]query.BatchItem, len(req.Queries))
+			for i, q := range req.Queries {
+				items[i] = query.BatchItem{Pred: q.Predicate, GroupBy: q.GroupBy}
+			}
+		}
+	}
+	if v := r.URL.Query().Get("version"); v != "" {
+		// A URL version overrides the body on the node side too; keep the
+		// router's idea in sync for the fan-out frames.
+		decodeOK = false // forward whole; the node resolves the override
+	}
+
+	ways := rt.healthyCount()
+	if !decodeOK || rt.opts.FanoutBatch < 0 || len(items) < rt.opts.FanoutBatch || ways < 2 {
+		rt.forward(w, r, body, -1)
+		return
+	}
+	rt.fanOutBatch(w, r, estimator, version, items, ways, binaryResp)
+}
+
+// fanOutBatch scatters the items across ways sub-batches, ships each as a
+// binary frame (the compact wire between router and nodes regardless of
+// the client's wire), and reassembles the answers in original order.
+func (rt *Router) fanOutBatch(w http.ResponseWriter, r *http.Request, estimator string, version int, items []query.BatchItem, ways int, binaryResp bool) {
+	rt.fannedOut.Add(1)
+	assign := query.AssignRoundRobin(len(items), ways)
+	parts := make([][]query.BatchAnswer, len(assign))
+	errs := make([]error, len(assign))
+	header := http.Header{
+		"Content-Type": []string{server.BinaryBatchContentType},
+		"Accept":       []string{server.BinaryBatchContentType},
+	}
+	var wg sync.WaitGroup
+	for wi, indexes := range assign {
+		wg.Add(1)
+		go func(wi int, indexes []int) {
+			defer wg.Done()
+			frame, err := query.AppendBatchAt(nil, estimator, version, query.Pick(items, indexes))
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			resp, _, herr := rt.roundTrip(r.Context(), http.MethodPost, "/query/batch", header, frame, -1)
+			if herr != nil {
+				errs[wi] = fmt.Errorf("%s", herr.msg)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+				errs[wi] = fmt.Errorf("sub-batch %d: node answered %d: %s", wi, resp.StatusCode, strings.TrimSpace(string(b)))
+				return
+			}
+			_, answers, err := query.DecodeAnswers(resp.Body)
+			if err != nil {
+				errs[wi] = fmt.Errorf("sub-batch %d: %v", wi, err)
+				return
+			}
+			parts[wi] = answers
+		}(wi, indexes)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+	}
+	answers, err := query.GatherAnswers(len(items), assign, parts)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+
+	if binaryResp {
+		frame, err := query.AppendAnswers(nil, estimator, answers)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", server.BinaryBatchContentType)
+		_, _ = w.Write(frame)
+		return
+	}
+	out := server.BatchQueryResponse{Estimator: estimator, Version: version, Answers: make([]server.BatchResult, len(answers))}
+	for i, a := range answers {
+		res := server.BatchResult{Count: a.Count, IsGroup: a.IsGroup, Cached: a.Cached, Error: a.Error}
+		if a.IsGroup {
+			res.Groups = make([]server.GroupRow, len(a.Groups))
+			for j, g := range a.Groups {
+				res.Groups[j] = server.GroupRow{Values: g.Values, Estimate: g.Estimate}
+			}
+		}
+		out.Answers[i] = res
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

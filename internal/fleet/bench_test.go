@@ -1,0 +1,46 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/fleet/fleettest"
+	"repro/internal/server"
+)
+
+// BenchmarkRouterOverhead measures what the fleet coordinator adds on top
+// of a summaryd node: the same cache-hot count query is timed against the
+// node directly and through the router (proxy, node selection, breaker
+// accounting). The routed-minus-direct gap is the router overhead BENCH.md
+// reports; the acceptance bar is < 1ms at the median.
+func BenchmarkRouterOverhead(b *testing.B) {
+	f := fleettest.New(b, fleettest.Options{Nodes: 2, Rows: 1200, MaxSweeps: 30})
+	payload, _ := json.Marshal(server.QueryRequest{Estimator: "demo/maxent"})
+	post := func(base string) {
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("query status %d", resp.StatusCode)
+		}
+	}
+	post(f.Primary().URL()) // warm the query cache: both paths hit it
+	post(f.RouterURL())
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(f.Primary().URL())
+		}
+	})
+	b.Run("routed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(f.RouterURL())
+		}
+	})
+}

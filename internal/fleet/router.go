@@ -1,0 +1,777 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// NodeConfig names one summaryd node of the fleet. The first node of a
+// router's list is the primary: the only node holding the mutable
+// relations, so writes (/ingest, /snapshots save, /branch) always land
+// there while reads spread across every healthy replica.
+type NodeConfig struct {
+	Name string
+	URL  string
+}
+
+// Options configure a Router. The zero value selects the defaults noted
+// per field.
+type Options struct {
+	// Timeout bounds each proxied attempt (default 10s).
+	Timeout time.Duration
+	// Retries bounds how many additional attempts a retryable request
+	// gets after its first (default: one per remaining node).
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubled per
+	// subsequent retry (default 10ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// node's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds traffic before
+	// admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// MaxBodyBytes bounds proxied request bodies (default 1 MiB) — the
+	// router buffers bodies so retries can resend them.
+	MaxBodyBytes int64
+	// FanoutBatch is the batch size at and above which /query/batch is
+	// split across healthy nodes instead of forwarded whole (default 64;
+	// < 0 disables fan-out).
+	FanoutBatch int
+	// Placements maps dataset names to their partition count K. A count
+	// or group-by query against "<dataset>/partitioned" is then scattered
+	// as K per-partition queries ("<dataset>/partitioned.p<k>") across
+	// the fleet and merged on the router — remotely distributed exactly
+	// like summary.Partitioned distributes locally. Versioned (time
+	// travel) requests bypass placement and proxy whole.
+	Placements map[string]int
+	// Client overrides the HTTP client used for proxying (default: a
+	// dedicated client; the per-attempt timeout comes from Timeout).
+	Client *http.Client
+	// Now overrides the wall clock, for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o *Options) setDefaults() {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.FanoutBatch == 0 {
+		o.FanoutBatch = 64
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+}
+
+// node is one summaryd replica with its runtime routing state.
+type node struct {
+	name     string
+	url      string
+	breaker  *breaker
+	inflight atomic.Int64
+	proxied  atomic.Uint64
+	failures atomic.Uint64
+}
+
+// Router is the fleet coordinator: it proxies the summaryd serving
+// surface across a replica set with health-aware, load-aware node
+// selection, retry-with-backoff on replica failure, and per-node circuit
+// breaking. Reads go to the least-loaded healthy node; writes go to the
+// primary and fan a sync notification out to the replicas, so an ingest
+// on one node propagates fleet-wide without re-solving.
+type Router struct {
+	nodes  []*node
+	opts   Options
+	mux    *http.ServeMux
+	routes []string
+	start  time.Time
+
+	rr        atomic.Uint64
+	requests  atomic.Uint64
+	retries   atomic.Uint64
+	notifies  atomic.Uint64
+	exhausted atomic.Uint64
+	scattered atomic.Uint64
+	fannedOut atomic.Uint64
+}
+
+// NewRouter builds a router over the replica set. The first node is the
+// primary (write target); at least one node is required.
+func NewRouter(nodes []NodeConfig, opts Options) (*Router, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("fleet: a router needs at least one node")
+	}
+	opts.setDefaults()
+	if opts.Retries <= 0 {
+		opts.Retries = len(nodes) - 1
+		if opts.Retries < 1 {
+			opts.Retries = 1
+		}
+	}
+	rt := &Router{opts: opts, start: opts.Now()}
+	seen := make(map[string]bool, len(nodes))
+	for i, nc := range nodes {
+		if nc.URL == "" {
+			return nil, fmt.Errorf("fleet: node %d has no URL", i)
+		}
+		name := nc.Name
+		if name == "" {
+			name = fmt.Sprintf("node%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fleet: duplicate node name %q", name)
+		}
+		seen[name] = true
+		rt.nodes = append(rt.nodes, &node{
+			name:    name,
+			url:     strings.TrimRight(nc.URL, "/"),
+			breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Now),
+		})
+	}
+	rt.mux = http.NewServeMux()
+	rt.handle("/query", rt.handleQuery)
+	rt.handle("/groupby", rt.handleGroupBy)
+	rt.handle("/query/batch", rt.handleBatch)
+	rt.handle("/estimators", rt.handleRead)
+	rt.handle("/snapshots", rt.handleRead)
+	rt.handle("/snapshots/", rt.handleWrite)
+	rt.handle("/ingest/", rt.handleWrite)
+	rt.handle("/branch/", rt.handleWrite)
+	rt.handle("/diff/", rt.handleRead)
+	rt.handle("/healthz", rt.handleHealthz)
+	rt.handle("/metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+func (rt *Router) handle(pattern string, fn http.HandlerFunc) {
+	rt.mux.HandleFunc(pattern, fn)
+	rt.routes = append(rt.routes, pattern)
+}
+
+// Routes returns every route pattern the router serves, sorted — the
+// inventory the documentation lint gate checks docs/API.md against,
+// exactly like server.Routes().
+func (rt *Router) Routes() []string {
+	out := append([]string(nil), rt.routes...)
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the HTTP handler serving the router surface.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.requests.Add(1)
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// --- node selection ---------------------------------------------------
+
+// pick orders candidate nodes for one attempt: breaker-allowed nodes
+// first, least in-flight load first, round-robin rotation breaking ties —
+// and never a node in tried. prefer (>= 0) pins a preferred node to the
+// front when its breaker allows, which placement uses to spread partition
+// owners deterministically.
+func (rt *Router) pick(tried map[*node]bool, prefer int) *node {
+	type cand struct {
+		n    *node
+		load int64
+		pos  int
+	}
+	rot := int(rt.rr.Add(1))
+	var best *cand
+	for i, n := range rt.nodes {
+		if tried[n] || !n.breaker.Allow() {
+			continue
+		}
+		c := &cand{n: n, load: n.inflight.Load(), pos: (i + rot) % len(rt.nodes)}
+		if prefer >= 0 && i == prefer%len(rt.nodes) {
+			return n
+		}
+		if best == nil || c.load < best.load || (c.load == best.load && c.pos < best.pos) {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.n
+}
+
+// healthyCount counts nodes whose breaker currently passes traffic.
+func (rt *Router) healthyCount() int {
+	n := 0
+	for _, nd := range rt.nodes {
+		if st, _ := nd.breaker.State(); st != BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// --- proxy core -------------------------------------------------------
+
+// retryableStatus reports whether a response status marks the node (not
+// the request) as the problem: upstream gateway failures and saturation.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+// attempt sends one proxied request to one node and returns the response.
+// The caller owns breaker/metric accounting via the returned error class.
+func (rt *Router) attempt(ctx context.Context, n *node, method, pathAndQuery string, header http.Header, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
+	req, err := http.NewRequestWithContext(ctx, method, n.url+pathAndQuery, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, k := range []string{"Content-Type", "Accept"} {
+		if v := header.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	n.inflight.Add(1)
+	resp, err := rt.opts.Client.Do(req)
+	n.inflight.Add(-1)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Tie the context cancel to the body: the caller drains or closes it.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// forward proxies a request across the replica set with retry-with-
+// backoff: transport errors and 502/503/504 move on to the next healthy
+// node; a 404 is treated as a soft miss (another node may serve an
+// estimator this one does not replicate) and retried without penalizing
+// the breaker, with the first 404 replayed if every node misses. Any
+// other response is relayed as-is. prefer pins the first attempt to a
+// node index (-1 = load-based).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, prefer int) {
+	resp, n, herr := rt.roundTrip(r.Context(), r.Method, requestPath(r), r.Header, body, prefer)
+	if herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	defer resp.Body.Close()
+	relayResponse(w, resp, n)
+}
+
+// roundTrip is forward without the ResponseWriter: it returns the first
+// relayable response and the node that served it.
+func (rt *Router) roundTrip(ctx context.Context, method, pathAndQuery string, header http.Header, body []byte, prefer int) (*http.Response, *node, *routeError) {
+	tried := make(map[*node]bool, len(rt.nodes))
+	var miss *http.Response
+	var missNode *node
+	var lastErr error
+	attempts := rt.opts.Retries + 1
+	for i := 0; i < attempts; i++ {
+		n := rt.pick(tried, prefer)
+		prefer = -1
+		if n == nil {
+			break
+		}
+		tried[n] = true
+		if i > 0 {
+			rt.retries.Add(1)
+			backoff(ctx, rt.opts.RetryBackoff<<(i-1))
+		}
+		resp, err := rt.attempt(ctx, n, method, pathAndQuery, header, body)
+		if err != nil {
+			n.breaker.Failure()
+			n.failures.Add(1)
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			n.breaker.Failure()
+			n.failures.Add(1)
+			lastErr = fmt.Errorf("%s answered %d", n.name, resp.StatusCode)
+			drain(resp)
+			continue
+		}
+		n.breaker.Success()
+		if resp.StatusCode == http.StatusNotFound && miss == nil && len(tried) < len(rt.nodes) {
+			// Soft miss: hold the 404 and ask a node that may replicate
+			// the estimator this one lacks.
+			miss, missNode = resp, n
+			continue
+		}
+		if miss != nil {
+			drain(miss)
+		}
+		n.proxied.Add(1)
+		return resp, n, nil
+	}
+	if miss != nil {
+		missNode.proxied.Add(1)
+		return miss, missNode, nil
+	}
+	rt.exhausted.Add(1)
+	msg := "no healthy replica"
+	if lastErr != nil {
+		msg = fmt.Sprintf("no healthy replica: last error: %v", lastErr)
+	}
+	return nil, nil, &routeError{status: http.StatusBadGateway, msg: msg}
+}
+
+type routeError struct {
+	status int
+	msg    string
+}
+
+func requestPath(r *http.Request) string {
+	if r.URL.RawQuery != "" {
+		return r.URL.Path + "?" + r.URL.RawQuery
+	}
+	return r.URL.Path
+}
+
+func relayResponse(w http.ResponseWriter, resp *http.Response, n *node) {
+	for _, k := range []string{"Content-Type",
+		server.SnapshotVersionHeader, server.SnapshotChecksumHeader, server.SnapshotEstimatorHeader} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.Header().Set(FleetNodeHeader, n.name)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// FleetNodeHeader names the node that served a routed response.
+const FleetNodeHeader = "X-Fleet-Node"
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// backoff sleeps for d or until ctx is done.
+func backoff(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// --- read/write handlers ----------------------------------------------
+
+// handleRead proxies a read-only endpoint with retry, preferring the
+// primary (which registers estimators replicas may not).
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.forward(w, r, body, 0)
+}
+
+// handleWrite proxies a mutating endpoint to the primary, exactly once:
+// ingest and snapshot writes are not idempotent, so the router never
+// retries them — a failure is the client's to handle. A successful write
+// that published new snapshot versions triggers a sync notification to
+// every replica, so the fleet converges within one round trip instead of
+// one poll interval.
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	if r.Method == http.MethodGet {
+		// The /snapshots/{dataset} and /branch/{...} prefixes also carry
+		// read forms; only actual writes are primary-pinned without retry.
+		rt.forward(w, r, body, 0)
+		return
+	}
+	primary := rt.nodes[0]
+	resp, err := rt.attempt(r.Context(), primary, r.Method, requestPath(r), r.Header, body)
+	if err != nil {
+		primary.breaker.Failure()
+		primary.failures.Add(1)
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("primary %s: %v", primary.name, err))
+		return
+	}
+	defer resp.Body.Close()
+	if retryableStatus(resp.StatusCode) {
+		primary.breaker.Failure()
+		primary.failures.Add(1)
+	} else {
+		primary.breaker.Success()
+		primary.proxied.Add(1)
+	}
+
+	// Relay the response, keeping a copy to decide whether new snapshot
+	// versions were published (ingest refresh or snapshot save).
+	bodyCopy, _ := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+	for _, k := range []string{"Content-Type"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.Header().Set(FleetNodeHeader, primary.name)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(bodyCopy)
+
+	if resp.StatusCode == http.StatusOK && rt.publishedSnapshots(r.URL.Path, bodyCopy) {
+		rt.notifyReplicas(r.Context(), datasetOfWrite(r.URL.Path))
+	}
+}
+
+// publishedSnapshots reports whether a successful write response implies
+// new snapshot versions replicas should pull.
+func (rt *Router) publishedSnapshots(path string, body []byte) bool {
+	switch {
+	case strings.HasPrefix(path, "/ingest/"):
+		var res server.IngestResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			return false
+		}
+		return res.Refreshed
+	case strings.HasPrefix(path, "/snapshots/"), strings.HasPrefix(path, "/branch/"):
+		return true
+	default:
+		return false
+	}
+}
+
+// datasetOfWrite extracts the dataset segment of a write path ("" when
+// the path shape is unexpected — replicas then sync everything).
+func datasetOfWrite(path string) string {
+	parts := strings.SplitN(strings.Trim(path, "/"), "/", 3)
+	if len(parts) >= 2 {
+		return parts[1]
+	}
+	return ""
+}
+
+// notifyReplicas POSTs /sync/notify to every non-primary node,
+// best-effort: a replica that misses the nudge still converges on its
+// next poll.
+func (rt *Router) notifyReplicas(ctx context.Context, dataset string) {
+	if len(rt.nodes) < 2 {
+		return
+	}
+	payload, _ := json.Marshal(server.SyncNotifyRequest{Dataset: dataset})
+	header := http.Header{"Content-Type": []string{"application/json"}}
+	var wg sync.WaitGroup
+	for _, n := range rt.nodes[1:] {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			resp, err := rt.attempt(ctx, n, http.MethodPost, "/sync/notify", header, payload)
+			if err == nil {
+				drain(resp)
+				rt.notifies.Add(1)
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// --- health and metrics -----------------------------------------------
+
+// NodeStatus is one node's routing state on /healthz and /metrics.
+type NodeStatus struct {
+	Name         string `json:"name"`
+	URL          string `json:"url"`
+	Breaker      string `json:"breaker"`
+	Inflight     int64  `json:"inflight"`
+	Proxied      uint64 `json:"proxied"`
+	Failures     uint64 `json:"failures"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// FleetMetricsResponse is the body of the router's GET /metrics.
+type FleetMetricsResponse struct {
+	Role          string       `json:"role"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Retries       uint64       `json:"retries"`
+	Exhausted     uint64       `json:"exhausted"`
+	Notifies      uint64       `json:"notifies"`
+	Scattered     uint64       `json:"scattered"`
+	FannedOut     uint64       `json:"fanned_out"`
+	Nodes         []NodeStatus `json:"nodes"`
+}
+
+func (rt *Router) nodeStatuses() []NodeStatus {
+	out := make([]NodeStatus, len(rt.nodes))
+	for i, n := range rt.nodes {
+		st, opens := n.breaker.State()
+		out[i] = NodeStatus{
+			Name:         n.name,
+			URL:          n.url,
+			Breaker:      st.String(),
+			Inflight:     n.inflight.Load(),
+			Proxied:      n.proxied.Load(),
+			Failures:     n.failures.Load(),
+			BreakerOpens: opens,
+		}
+	}
+	return out
+}
+
+// handleHealthz reports the router's own liveness plus per-node breaker
+// state; "degraded" when any breaker is not closed, but always 200 — the
+// router is up either way.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	status := "ok"
+	nodes := rt.nodeStatuses()
+	for _, n := range nodes {
+		if n.Breaker != BreakerClosed.String() {
+			status = "degraded"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"status": status,
+		"role":   "router",
+		"nodes":  nodes,
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(FleetMetricsResponse{
+		Role:          "router",
+		UptimeSeconds: rt.opts.Now().Sub(rt.start).Seconds(),
+		Requests:      rt.requests.Load(),
+		Retries:       rt.retries.Load(),
+		Exhausted:     rt.exhausted.Load(),
+		Notifies:      rt.notifies.Load(),
+		Scattered:     rt.scattered.Load(),
+		FannedOut:     rt.fannedOut.Load(),
+		Nodes:         rt.nodeStatuses(),
+	})
+}
+
+// --- query routing ----------------------------------------------------
+
+// placement returns the partition count for a "<dataset>/partitioned"
+// estimator name with a configured placement, or 0.
+func (rt *Router) placement(estimator string) int {
+	if len(rt.opts.Placements) == 0 {
+		return 0
+	}
+	dataset, ok := strings.CutSuffix(estimator, "/partitioned")
+	if !ok {
+		return 0
+	}
+	return rt.opts.Placements[dataset]
+}
+
+// handleQuery proxies /query. A POST against a placed partitioned
+// estimator (live version only) is scattered: the K per-partition counts
+// are fetched across the fleet and summed in partition index order —
+// the exact reduction summary.Partitioned performs locally, so the
+// scattered answer is bit-identical to a single node's.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	if r.Method == http.MethodPost && r.URL.Query().Get("version") == "" {
+		var req server.QueryRequest
+		if err := json.Unmarshal(body, &req); err == nil && req.Version <= 0 {
+			if k := rt.placement(req.Estimator); k > 0 {
+				rt.scatterQuery(w, r, req, k)
+				return
+			}
+		}
+	}
+	rt.forward(w, r, body, -1)
+}
+
+func (rt *Router) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	if r.Method == http.MethodPost && r.URL.Query().Get("version") == "" {
+		var req server.GroupByRequest
+		if err := json.Unmarshal(body, &req); err == nil && req.Version <= 0 {
+			if k := rt.placement(req.Estimator); k > 0 {
+				rt.scatterGroupBy(w, r, req, k)
+				return
+			}
+		}
+	}
+	rt.forward(w, r, body, -1)
+}
+
+// scatterPartition runs one JSON sub-request per partition concurrently,
+// each owner-pinned to node k mod N with failover to any healthy node,
+// and hands the decoded bodies back in partition index order.
+func (rt *Router) scatterPartition(ctx context.Context, k int, build func(part int) ([]byte, string)) ([][]byte, *routeError) {
+	rt.scattered.Add(1)
+	bodies := make([][]byte, k)
+	errs := make([]*routeError, k)
+	header := http.Header{"Content-Type": []string{"application/json"}}
+	var wg sync.WaitGroup
+	for part := 0; part < k; part++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			payload, path := build(part)
+			resp, _, herr := rt.roundTrip(ctx, http.MethodPost, path, header, payload, part)
+			if herr != nil {
+				errs[part] = herr
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+			if err != nil {
+				errs[part] = &routeError{status: http.StatusBadGateway, msg: err.Error()}
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				var e struct {
+					Error string `json:"error"`
+				}
+				_ = json.Unmarshal(b, &e)
+				errs[part] = &routeError{status: resp.StatusCode, msg: fmt.Sprintf("partition %d: %s", part, e.Error)}
+				return
+			}
+			bodies[part] = b
+		}(part)
+	}
+	wg.Wait()
+	for _, herr := range errs {
+		if herr != nil {
+			return nil, herr
+		}
+	}
+	return bodies, nil
+}
+
+func (rt *Router) scatterQuery(w http.ResponseWriter, r *http.Request, req server.QueryRequest, k int) {
+	dataset := strings.TrimSuffix(req.Estimator, "/partitioned")
+	bodies, herr := rt.scatterPartition(r.Context(), k, func(part int) ([]byte, string) {
+		sub := server.QueryRequest{Estimator: server.PartitionEntryName(dataset, part), Predicate: req.Predicate}
+		payload, _ := json.Marshal(sub)
+		return payload, "/query"
+	})
+	if herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	// Sum in partition index order — float addition is not associative,
+	// so the order IS the contract for bit-identity with local serving.
+	total := 0.0
+	for part, b := range bodies {
+		var qr server.QueryResponse
+		if err := json.Unmarshal(b, &qr); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("partition %d: %v", part, err))
+			return
+		}
+		total += qr.Count
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(server.QueryResponse{Estimator: req.Estimator, Count: total})
+}
+
+func (rt *Router) scatterGroupBy(w http.ResponseWriter, r *http.Request, req server.GroupByRequest, k int) {
+	dataset := strings.TrimSuffix(req.Estimator, "/partitioned")
+	bodies, herr := rt.scatterPartition(r.Context(), k, func(part int) ([]byte, string) {
+		sub := server.GroupByRequest{
+			Estimator: server.PartitionEntryName(dataset, part),
+			Predicate: req.Predicate,
+			GroupBy:   req.GroupBy,
+		}
+		payload, _ := json.Marshal(sub)
+		return payload, "/groupby"
+	})
+	if herr != nil {
+		writeError(w, herr.status, herr.msg)
+		return
+	}
+	partial := make([][]core.GroupEstimate, k)
+	for part, b := range bodies {
+		var gr server.GroupByResponse
+		if err := json.Unmarshal(b, &gr); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("partition %d: %v", part, err))
+			return
+		}
+		groups := make([]core.GroupEstimate, len(gr.Groups))
+		for i, g := range gr.Groups {
+			groups[i] = core.GroupEstimate{Values: g.Values, Estimate: g.Estimate}
+		}
+		partial[part] = groups
+	}
+	merged := core.MergeGroupEstimates(partial...)
+	rows := make([]server.GroupRow, len(merged))
+	for i, g := range merged {
+		rows[i] = server.GroupRow{Values: g.Values, Estimate: g.Estimate}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(server.GroupByResponse{Estimator: req.Estimator, Groups: rows})
+}

@@ -1,0 +1,156 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/fleet/fleettest"
+	"repro/internal/server"
+)
+
+// TestFleetSyncConvergence is the replication drill: rows are ingested on
+// the primary (through the router) while query load hammers the router
+// AND every replica directly; each ingest crosses the refresh threshold,
+// publishes a new snapshot generation, and the whole fleet must converge
+// to it — replicas then answer bit-identically to the primary. Run under
+// -race this covers the concurrent sync + query interleaving end to end.
+func TestFleetSyncConvergence(t *testing.T) {
+	f := fleettest.New(t, fleettest.Options{
+		Nodes:        3,
+		RefreshRows:  250,
+		SyncInterval: 20 * time.Millisecond,
+	})
+	routed := f.RouterURL()
+
+	// Background load on every serving surface for the whole drill.
+	payload, _ := json.Marshal(server.QueryRequest{Estimator: "demo/maxent"})
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	targets := []string{routed, f.Nodes[1].URL(), f.Nodes[2].URL()}
+	for _, base := range targets {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("load on %s: %v", base, err):
+					default:
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					select {
+					case errs <- fmt.Errorf("load on %s: status %d", base, resp.StatusCode):
+					default:
+					}
+				}
+			}
+		}(base)
+	}
+
+	// Two ingest → refresh → converge cycles under that load.
+	for gen := 2; gen <= 3; gen++ {
+		var ing server.IngestResult
+		if s := postJSON(t, routed+"/ingest/demo", server.IngestRequest{Rows: fleettest.Rows(300, gen)}, &ing); s != http.StatusOK {
+			t.Fatalf("ingest for generation %d: status %d", gen, s)
+		}
+		if !ing.Refreshed {
+			t.Fatalf("ingest for generation %d did not refresh: %+v", gen, ing)
+		}
+		if err := f.WaitConverged(30 * time.Second); err != nil {
+			t.Fatalf("fleet did not converge to generation %d: %v", gen, err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.Fatal("queries failed while the fleet was syncing; sync must never take a node out of service")
+	}
+
+	// Every replica now serves generation 3 of the same bits: check the
+	// advertised generation and a real workload bitwise against the primary.
+	rng := rand.New(rand.NewSource(31))
+	workload := experiment.GenerateWorkload(experiment.SyntheticSchema(), 16, rng)
+	for _, n := range f.Nodes[1:] {
+		var est server.EstimatorsResponse
+		resp, err := http.Get(n.URL() + "/estimators")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		found := false
+		for _, e := range est.Estimators {
+			if e.Name == "demo/maxent" {
+				found = true
+				if e.Generation != 3 {
+					t.Fatalf("%s serves generation %d after two refreshes, want 3", n.Name, e.Generation)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s does not serve demo/maxent", n.Name)
+		}
+
+		for qi, q := range workload {
+			if q.IsGroupBy() {
+				var want, got server.GroupByResponse
+				req := server.GroupByRequest{Estimator: "demo/maxent", Predicate: q.Pred, GroupBy: q.GroupBy}
+				ws := postJSON(t, f.Primary().URL()+"/groupby", req, &want)
+				gs := postJSON(t, n.URL()+"/groupby", req, &got)
+				if ws != gs {
+					t.Fatalf("%s query %d: primary status %d, replica %d", n.Name, qi, ws, gs)
+				}
+				if ws == http.StatusOK {
+					sameGroups(t, fmt.Sprintf("%s query %d", n.Name, qi), want.Groups, got.Groups)
+				}
+				continue
+			}
+			var want, got server.QueryResponse
+			req := server.QueryRequest{Estimator: "demo/maxent", Predicate: q.Pred}
+			ws := postJSON(t, f.Primary().URL()+"/query", req, &want)
+			gs := postJSON(t, n.URL()+"/query", req, &got)
+			if ws != gs {
+				t.Fatalf("%s query %d: primary status %d, replica %d", n.Name, qi, ws, gs)
+			}
+			if ws == http.StatusOK {
+				sameCount(t, fmt.Sprintf("%s query %d", n.Name, qi), want.Count, got.Count)
+			}
+		}
+
+		// The syncer's own account of the drill: at least the two refresh
+		// generations imported, at least two hot swaps, no lingering error.
+		st := n.Syncer.Status()
+		if st.Imported < 2 || st.Swaps < 2 {
+			t.Fatalf("%s syncer status %+v after two refresh cycles", n.Name, st)
+		}
+		if st.LastError != "" {
+			t.Fatalf("%s syncer holds error %q after convergence", n.Name, st.LastError)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// SyncerOptions configure a replica's pull loop.
+type SyncerOptions struct {
+	// Interval is the poll period (default 2s); notifications wake the
+	// loop sooner.
+	Interval time.Duration
+	// Timeout bounds each HTTP call to the origin (default 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (default: a dedicated one).
+	Client *http.Client
+}
+
+// Syncer keeps a replica's snapshot store and registry converged with an
+// origin node, pull-by-version: it lists the origin's manifests, fetches
+// every snapshot version the local store lacks over GET /sync/snapshot,
+// imports each AT the origin's version number, and hot-swaps the latest
+// of every dataset key into the registry via the same Register/Swap path
+// a local refresh uses. Because snapshot restore is bit-identical, a
+// converged replica answers exactly like the origin — including
+// ?version=N time travel, since historical versions replicate too.
+type Syncer struct {
+	origin string
+	st     *store.Store
+	reg    *server.Registry
+	opts   SyncerOptions
+
+	mu      sync.Mutex
+	cache   *server.Cache
+	lastErr string
+
+	wake     chan struct{}
+	syncs    atomic.Uint64
+	imported atomic.Uint64
+	swaps    atomic.Uint64
+}
+
+// NewSyncer builds a syncer pulling from the origin node's base URL into
+// the local store and registry. Call AttachCache before Run when the
+// serving cache should be invalidated on swaps, then run the loop:
+//
+//	syncer := fleet.NewSyncer(originURL, st, reg, fleet.SyncerOptions{})
+//	srv := server.New(reg, server.Options{SyncNotify: syncer.Notify, ...})
+//	syncer.AttachCache(srv.Cache())
+//	go syncer.Run(ctx)
+func NewSyncer(origin string, st *store.Store, reg *server.Registry, opts SyncerOptions) *Syncer {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	return &Syncer{
+		origin: origin,
+		st:     st,
+		reg:    reg,
+		opts:   opts,
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+// AttachCache hands the syncer the serving result cache so a hot swap
+// invalidates the replaced generation's answers, mirroring Live.refresh.
+func (s *Syncer) AttachCache(c *server.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+}
+
+// Notify wakes the sync loop without blocking: it is the hook behind
+// POST /sync/notify (server.Options.SyncNotify). The dataset argument is
+// accepted for the hook signature; a pass syncs everything — pulls are
+// cheap no-ops for converged datasets.
+func (s *Syncer) Notify(string) {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run pulls once immediately, then on every poll tick or notification,
+// until ctx is done. Errors are retained for Status, never fatal: an
+// origin outage leaves the replica serving its current versions.
+func (s *Syncer) Run(ctx context.Context) {
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	s.syncLogged(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		case <-s.wake:
+		}
+		s.syncLogged(ctx)
+	}
+}
+
+func (s *Syncer) syncLogged(ctx context.Context) {
+	_, err := s.SyncOnce(ctx)
+	s.mu.Lock()
+	if err != nil {
+		s.lastErr = err.Error()
+	} else {
+		s.lastErr = ""
+	}
+	s.mu.Unlock()
+}
+
+// SyncReport summarizes one pull pass.
+type SyncReport struct {
+	// Imported counts snapshot versions fetched and stored.
+	Imported int
+	// Swapped lists the registry entries that moved to a new latest
+	// version (registered fresh or hot-swapped), sorted.
+	Swapped []string
+}
+
+// SyncOnce runs one pull pass and reports what moved. Per-dataset
+// problems abort the pass with an error; everything imported before the
+// failure stays imported (the pass is resumable by construction).
+func (s *Syncer) SyncOnce(ctx context.Context) (SyncReport, error) {
+	var rep SyncReport
+	s.syncs.Add(1)
+	manifests, err := s.fetchManifests(ctx)
+	if err != nil {
+		return rep, err
+	}
+	for _, man := range manifests {
+		local := make(map[int]bool)
+		if lman, err := s.st.Versions(man.Dataset); err == nil {
+			for _, sn := range lman.Snapshots {
+				local[sn.Version] = true
+			}
+		}
+		fetchedLatest := false
+		latest := 0
+		for _, sn := range man.Snapshots {
+			if sn.Version > latest {
+				latest = sn.Version
+			}
+			if local[sn.Version] {
+				continue
+			}
+			if err := s.fetchSnapshot(ctx, man.Dataset, sn.Version); err != nil {
+				return rep, err
+			}
+			rep.Imported++
+			s.imported.Add(1)
+			if sn.Version >= latest {
+				fetchedLatest = true
+			}
+		}
+		_, registered := s.reg.Get(man.Dataset)
+		if latest == 0 || (registered && !fetchedLatest) {
+			continue
+		}
+		if err := s.swapLatest(man.Dataset); err != nil {
+			return rep, err
+		}
+		rep.Swapped = append(rep.Swapped, man.Dataset)
+		s.swaps.Add(1)
+	}
+	sort.Strings(rep.Swapped)
+	return rep, nil
+}
+
+// fetchManifests lists the origin's datasets via GET /snapshots.
+func (s *Syncer) fetchManifests(ctx context.Context) ([]store.Manifest, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.origin+"/snapshots", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: sync: list %s: %w", s.origin, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, fmt.Errorf("fleet: sync: list %s: %d: %s", s.origin, resp.StatusCode, b)
+	}
+	var out server.SnapshotsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fleet: sync: list %s: %w", s.origin, err)
+	}
+	return out.Datasets, nil
+}
+
+// fetchSnapshot pulls one framed snapshot and imports it at the origin's
+// version number. ImportFramed verifies the frame end to end and treats
+// a concurrent identical import as success.
+func (s *Syncer) fetchSnapshot(ctx context.Context, dataset string, version int) error {
+	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/sync/snapshot?dataset=%s&version=%d", s.origin, dataset, version)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: sync %q v%d: %w", dataset, version, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("fleet: sync %q v%d: %d: %s", dataset, version, resp.StatusCode, b)
+	}
+	framed, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("fleet: sync %q v%d: %w", dataset, version, err)
+	}
+	if _, err := s.st.ImportFramed(dataset, version, framed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// swapLatest loads the dataset's latest local version and registers or
+// hot-swaps it into the registry, invalidating the serving cache — the
+// replica-side twin of Live.refresh's swap stage.
+func (s *Syncer) swapLatest(dataset string) error {
+	est, info, err := s.st.Load(dataset, 0)
+	if err != nil {
+		return fmt.Errorf("fleet: sync swap %q: %w", dataset, err)
+	}
+	sc, ok := est.(interface{ Schema() *schema.Schema })
+	if !ok {
+		return fmt.Errorf("fleet: sync swap %q (v%d): estimator %T carries no schema", dataset, info.Version, est)
+	}
+	if _, registered := s.reg.Get(dataset); registered {
+		if _, err := s.reg.Swap(dataset, est, sc.Schema()); err != nil {
+			return err
+		}
+	} else if err := s.reg.Register(dataset, est, sc.Schema()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	cache := s.cache
+	s.mu.Unlock()
+	if cache != nil {
+		cache.InvalidatePrefix(dataset + "\x00")
+	}
+	return nil
+}
+
+// SyncStatus reports the syncer's counters for /metrics and tests.
+type SyncStatus struct {
+	Origin    string `json:"origin"`
+	Syncs     uint64 `json:"syncs"`
+	Imported  uint64 `json:"imported"`
+	Swaps     uint64 `json:"swaps"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Status returns the current sync counters.
+func (s *Syncer) Status() SyncStatus {
+	s.mu.Lock()
+	lastErr := s.lastErr
+	s.mu.Unlock()
+	return SyncStatus{
+		Origin:    s.origin,
+		Syncs:     s.syncs.Load(),
+		Imported:  s.imported.Load(),
+		Swaps:     s.swaps.Load(),
+		LastError: lastErr,
+	}
+}

@@ -1,0 +1,75 @@
+package query
+
+import "fmt"
+
+// Batch fan-out bookkeeping for routed serving: a coordinator splits one
+// batch across several summaryd nodes and reassembles the answers in the
+// original order. The helpers are pure index arithmetic, so the routed
+// answer stream is positionally identical to a single-node answer stream
+// no matter how the work was scattered.
+
+// AssignRoundRobin deals n batch items across ways targets round-robin
+// and returns, per target, the item indexes it owns. Targets beyond n get
+// empty (never nil-padded) slices dropped from the result, so every
+// returned assignment holds at least one item. ways < 1 or n < 0 returns
+// nil.
+func AssignRoundRobin(n, ways int) [][]int {
+	if n < 0 || ways < 1 {
+		return nil
+	}
+	if ways > n {
+		ways = n
+	}
+	out := make([][]int, ways)
+	for w := range out {
+		out[w] = make([]int, 0, (n+ways-1)/ways)
+	}
+	for i := 0; i < n; i++ {
+		out[i%ways] = append(out[i%ways], i)
+	}
+	return out
+}
+
+// Pick returns the items at the given indexes, in index order — the
+// sub-batch one target serves.
+func Pick(items []BatchItem, indexes []int) []BatchItem {
+	out := make([]BatchItem, len(indexes))
+	for i, idx := range indexes {
+		out[i] = items[idx]
+	}
+	return out
+}
+
+// GatherAnswers scatters each target's answer slice back to the original
+// item positions: parts[w][i] answers item assign[w][i]. Every item must
+// be answered exactly once; a length mismatch between an assignment and
+// its answers is an error (a node answered a different batch than it was
+// sent).
+func GatherAnswers(n int, assign [][]int, parts [][]BatchAnswer) ([]BatchAnswer, error) {
+	if len(assign) != len(parts) {
+		return nil, fmt.Errorf("query: gather: %d assignments but %d answer slices", len(assign), len(parts))
+	}
+	out := make([]BatchAnswer, n)
+	seen := make([]bool, n)
+	for w, indexes := range assign {
+		if len(parts[w]) != len(indexes) {
+			return nil, fmt.Errorf("query: gather: target %d owns %d items but answered %d", w, len(indexes), len(parts[w]))
+		}
+		for i, idx := range indexes {
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("query: gather: item index %d out of range [0,%d)", idx, n)
+			}
+			if seen[idx] {
+				return nil, fmt.Errorf("query: gather: item %d assigned twice", idx)
+			}
+			seen[idx] = true
+			out[idx] = parts[w][i]
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("query: gather: item %d was never assigned", i)
+		}
+	}
+	return out, nil
+}

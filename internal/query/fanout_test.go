@@ -1,0 +1,90 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssignRoundRobin(t *testing.T) {
+	cases := []struct {
+		n, ways int
+		want    [][]int
+	}{
+		{5, 2, [][]int{{0, 2, 4}, {1, 3}}},
+		{3, 3, [][]int{{0}, {1}, {2}}},
+		{2, 5, [][]int{{0}, {1}}}, // more ways than items: no empty targets
+		{4, 1, [][]int{{0, 1, 2, 3}}},
+	}
+	for _, tc := range cases {
+		got := AssignRoundRobin(tc.n, tc.ways)
+		if len(got) != len(tc.want) {
+			t.Fatalf("AssignRoundRobin(%d,%d) = %v, want %v", tc.n, tc.ways, got, tc.want)
+		}
+		for w := range got {
+			if len(got[w]) != len(tc.want[w]) {
+				t.Fatalf("AssignRoundRobin(%d,%d)[%d] = %v, want %v", tc.n, tc.ways, w, got[w], tc.want[w])
+			}
+			for i := range got[w] {
+				if got[w][i] != tc.want[w][i] {
+					t.Fatalf("AssignRoundRobin(%d,%d)[%d] = %v, want %v", tc.n, tc.ways, w, got[w], tc.want[w])
+				}
+			}
+		}
+	}
+	if got := AssignRoundRobin(5, 0); got != nil {
+		t.Fatalf("AssignRoundRobin(5,0) = %v, want nil", got)
+	}
+	if got := AssignRoundRobin(-1, 2); got != nil {
+		t.Fatalf("AssignRoundRobin(-1,2) = %v, want nil", got)
+	}
+}
+
+// TestGatherAnswersRoundTrip proves scatter → gather is the identity on
+// answer order, for random sizes and splits.
+func TestGatherAnswersRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		ways := 1 + rng.Intn(6)
+		assign := AssignRoundRobin(n, ways)
+		parts := make([][]BatchAnswer, len(assign))
+		for w, indexes := range assign {
+			parts[w] = make([]BatchAnswer, len(indexes))
+			for i, idx := range indexes {
+				parts[w][i] = BatchAnswer{Count: float64(idx) * 1.5}
+			}
+		}
+		out, err := GatherAnswers(n, assign, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, a := range out {
+			if a.Count != float64(idx)*1.5 {
+				t.Fatalf("trial %d: item %d got answer %v", trial, idx, a.Count)
+			}
+		}
+	}
+}
+
+func TestGatherAnswersRejectsMismatch(t *testing.T) {
+	assign := AssignRoundRobin(4, 2)
+	short := [][]BatchAnswer{{{Count: 1}}, {{Count: 2}, {Count: 3}}}
+	if _, err := GatherAnswers(4, assign, short); err == nil {
+		t.Fatal("gather accepted an answer slice shorter than its assignment")
+	}
+	if _, err := GatherAnswers(4, assign[:1], [][]BatchAnswer{{{}, {}}}); err == nil {
+		t.Fatal("gather accepted unanswered items")
+	}
+	dup := [][]int{{0, 1}, {1, 2}}
+	if _, err := GatherAnswers(3, dup, [][]BatchAnswer{{{}, {}}, {{}, {}}}); err == nil {
+		t.Fatal("gather accepted a doubly-assigned item")
+	}
+}
+
+func TestPick(t *testing.T) {
+	items := []BatchItem{{GroupBy: []int{0}}, {}, {GroupBy: []int{1}}}
+	picked := Pick(items, []int{2, 0})
+	if len(picked) != 2 || len(picked[0].GroupBy) != 1 || picked[0].GroupBy[0] != 1 || len(picked[1].GroupBy) != 1 || picked[1].GroupBy[0] != 0 {
+		t.Fatalf("Pick returned %+v", picked)
+	}
+}

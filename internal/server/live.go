@@ -323,6 +323,15 @@ func (l *Live) refresh() (RefreshOutcome, error) {
 			return out, fmt.Errorf("server: refresh %q: partitioned rebuild: %w", l.dataset, err)
 		}
 		swaps = append(swaps, swap{l.dataset + "/partitioned", psum, full.Schema(), true})
+		// Partition entries exposed for fleet placement track the rebuilt
+		// partitions, so scattered serving never lags the whole-dataset
+		// entry by a generation.
+		for k := 0; k < psum.NumPartitions(); k++ {
+			name := PartitionEntryName(l.dataset, k)
+			if _, ok := l.reg.Get(name); ok {
+				swaps = append(swaps, swap{name, psum.Partition(k), full.Schema(), true})
+			}
+		}
 	}
 	if _, ok := l.reg.Get(l.dataset + "/uniform"); ok {
 		// Fold the generation into the seed so successive refreshes draw

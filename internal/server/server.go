@@ -43,6 +43,15 @@ type Options struct {
 	// time-travel queries, in summed estimator ApproxBytes (<= 0 selects
 	// 4 MiB). Ignored without a Store.
 	HistoryBytes int64
+	// NodeName identifies this node in a fleet; it is echoed on /healthz
+	// and /metrics so routers and operators can tell replicas apart.
+	// Empty is fine for single-node deployments.
+	NodeName string
+	// SyncNotify, when non-nil, is invoked by POST /sync/notify with the
+	// dataset named in the request body ("" = all) — the hook a replica's
+	// sync loop hangs off so an ingest node can trigger an immediate pull
+	// instead of waiting for the next poll.
+	SyncNotify func(dataset string)
 	// Now overrides the wall clock, for tests (default time.Now).
 	Now func() time.Time
 }
@@ -115,6 +124,8 @@ func New(reg *Registry, opts Options) *Server {
 	s.handle("/ingest/", s.handleIngest)
 	s.handle("/branch/", s.handleBranch)
 	s.handle("/diff/", s.handleDiff)
+	s.handle("/sync/snapshot", s.handleSyncSnapshot)
+	s.handle("/sync/notify", s.handleSyncNotify)
 	return s
 }
 
@@ -253,6 +264,9 @@ type IngestRequest struct {
 // MetricsResponse is the body of GET /metrics.
 type MetricsResponse struct {
 	MetricsSnapshot
+	// Node is the fleet identity of this summaryd (Options.NodeName);
+	// absent on single-node deployments.
+	Node       string          `json:"node,omitempty"`
 	Cache      CacheStats      `json:"cache"`
 	Estimators []EstimatorInfo `json:"estimators"`
 	// Datasets reports per-dataset ingestion state (generation, pending
@@ -407,11 +421,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.metrics.Snapshot(s.opts.Now())
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"status":         "ok",
 		"uptime_seconds": snap.UptimeSeconds,
 		"estimators":     s.reg.Len(),
-	})
+	}
+	if s.opts.NodeName != "" {
+		resp["node"] = s.opts.NodeName
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -421,6 +439,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := MetricsResponse{
 		MetricsSnapshot: s.metrics.Snapshot(s.opts.Now()),
+		Node:            s.opts.NodeName,
 		Cache:           s.cache.Stats(),
 		Estimators:      s.estimatorInfos(),
 		Datasets:        s.liveStatuses(),

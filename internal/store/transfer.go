@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/summary"
+)
+
+// This file is the fleet-replication face of the store: snapshots travel
+// between nodes as their verified on-disk frames, and a replica imports
+// them AT THE SAME VERSION NUMBER the origin assigned. Version identity is
+// what makes replication a pure pull-by-version problem (the OrpheusDB
+// framing): "demo/maxent v7" names the same bits on every node, so
+// convergence is checkable by comparing version sets and answers are
+// bit-identical wherever v7 is served from.
+
+// ReadFramed returns the complete framed bytes of one snapshot exactly as
+// they sit on disk — header, checksum, payload — after verifying the
+// frame, plus its manifest entry. version <= 0 selects the latest. It is
+// the serving side of peer snapshot sync (GET /sync/snapshot): the frame
+// is already integrity-protected, so peers transfer and verify it without
+// re-encoding.
+func (s *Store) ReadFramed(dataset string, version int) ([]byte, SnapshotInfo, error) {
+	if err := validateKey(dataset); err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	man, err := s.readManifest(dataset)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	var info SnapshotInfo
+	found := false
+	if version <= 0 {
+		info, found = man.Latest()
+	} else {
+		for _, sn := range man.Snapshots {
+			if sn.Version == version {
+				info, found = sn, true
+				break
+			}
+		}
+	}
+	if !found {
+		return nil, SnapshotInfo{}, fmt.Errorf("store: dataset %q has no version %d: %w", dataset, version, ErrNotFound)
+	}
+	path := filepath.Join(s.datasetDir(dataset), snapshotFile(info.Version))
+	framed, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, SnapshotInfo{}, fmt.Errorf("store: snapshot %q v%d: %w", dataset, info.Version, ErrNotFound)
+		}
+		return nil, SnapshotInfo{}, fmt.Errorf("store: snapshot %q v%d: %w", dataset, info.Version, err)
+	}
+	if _, err := verifyFramed(framed); err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("store: snapshot %q v%d: %w", dataset, info.Version, err)
+	}
+	return framed, info, nil
+}
+
+// verifyFramed checks a framed snapshot held in memory (magic, format
+// version, length, CRC32-C) and returns its payload.
+func verifyFramed(framed []byte) ([]byte, error) {
+	if len(framed) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte frame is shorter than the %d-byte header", ErrCorrupt, len(framed), headerSize)
+	}
+	if string(framed[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, framed[:8])
+	}
+	if v := binary.LittleEndian.Uint16(framed[8:10]); v != formatVersion {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrCorrupt, v, formatVersion)
+	}
+	length := binary.LittleEndian.Uint64(framed[12:20])
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds the %d-byte bound", ErrCorrupt, length, int64(maxPayload))
+	}
+	if uint64(len(framed)-headerSize) != length {
+		return nil, fmt.Errorf("%w: %d payload bytes, header says %d", ErrCorrupt, len(framed)-headerSize, length)
+	}
+	payload := framed[headerSize:]
+	want := binary.LittleEndian.Uint32(framed[20:24])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// ImportFramed stores a framed snapshot fetched from a peer under the
+// dataset key at exactly the version the peer assigned, preserving
+// fleet-wide version identity. The frame is fully verified (framing,
+// checksum, decodable payload name) before anything touches disk.
+// Importing a version that is already present is an idempotent no-op when
+// the bytes carry the same checksum, and an error when they differ — two
+// nodes disagreeing about what "v7" is must fail loudly, never silently
+// shadow one another.
+func (s *Store) ImportFramed(dataset string, version int, framed []byte) (SnapshotInfo, error) {
+	if err := validateKey(dataset); err != nil {
+		return SnapshotInfo{}, err
+	}
+	if version < 1 {
+		return SnapshotInfo{}, fmt.Errorf("store: import of %q needs a version >= 1, got %d", dataset, version)
+	}
+	payload, err := verifyFramed(framed)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	name, err := summary.PeekName(bytes.NewReader(payload))
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w: %v", dataset, version, ErrCorrupt, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dir := s.datasetDir(dataset)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	info := SnapshotInfo{
+		Dataset:   dataset,
+		Version:   version,
+		Estimator: name,
+		Bytes:     int64(len(payload)),
+		Checksum:  crc32.Checksum(payload, crcTable),
+		CreatedAt: s.now().UTC(),
+	}
+
+	final := filepath.Join(dir, snapshotFile(version))
+	if existing, err := os.ReadFile(final); err == nil {
+		// The version already exists locally; same bits → idempotent no-op,
+		// different bits → a split-brain version conflict.
+		if have, err := verifyFramed(existing); err == nil && crc32.Checksum(have, crcTable) == info.Checksum {
+			return info, s.mergeIntoManifest(dataset, []SnapshotInfo{info}, nil)
+		}
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: version exists with different content", dataset, version)
+	}
+
+	tmp, err := os.CreateTemp(dir, ".snap.tmp-*")
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	// link(2) claims the exact version: it fails on an existing target, so a
+	// concurrent local save or a racing second import can never be
+	// clobbered. Losing the race to identical bytes is still success.
+	if err := os.Link(tmpName, final); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			if existing, rerr := os.ReadFile(final); rerr == nil {
+				if have, verr := verifyFramed(existing); verr == nil && crc32.Checksum(have, crcTable) == info.Checksum {
+					return info, s.mergeIntoManifest(dataset, []SnapshotInfo{info}, nil)
+				}
+			}
+			return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: version exists with different content", dataset, version)
+		}
+		return SnapshotInfo{}, fmt.Errorf("store: import %q v%d: %w", dataset, version, err)
+	}
+	if err := s.mergeIntoManifest(dataset, []SnapshotInfo{info}, nil); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return info, nil
+}
