@@ -23,6 +23,10 @@
 // experiment.LoadOptions.Validate is the single authority on which flag
 // combinations are accepted.
 //
+// With -routers a,b,... requests rotate round-robin across several
+// summaryrouter front-ends of the same fleet (schema discovery still uses
+// -addr), measuring a sharded routing tier the way clients would drive it.
+//
 //	go run ./cmd/summaryd &
 //	go run ./cmd/loadgen -addr http://localhost:8080 -estimator demo/maxent -requests 2000
 //	go run ./cmd/loadgen -estimator demo/maxent -requests 2000 -ingest-every 10 -ingest-batch 50
@@ -63,6 +67,7 @@ func main() {
 		wire        = flag.String("wire", "json", "batch encoding: json or binary (requires -batch > 1)")
 		version     = flag.Int("version", 0, "answer every query from this retained snapshot version (0 = live estimators)")
 		versionMix  = flag.String("version-mix", "", "comma-separated snapshot versions cycled across requests, 0 meaning live (e.g. 0,1,2) — a mixed live/time-travel workload")
+		routers     = flag.String("routers", "", "comma-separated base URLs fronting the same fleet; requests rotate round-robin across them (-addr still serves schema discovery)")
 	)
 	flag.Parse()
 	if *queries <= 0 {
@@ -94,6 +99,7 @@ func main() {
 		Wire:        *wire,
 		Version:     *version,
 		VersionMix:  mixVersions,
+		Routers:     splitRouters(*routers),
 	}
 	if *ingestEvery > 0 {
 		dataset := *ingestData
@@ -152,6 +158,19 @@ func main() {
 	if res.Errors > 0 || res.IngestErrors > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitRouters decodes the -routers list; validity (non-empty entries,
+// URL shape) is experiment.LoadOptions.Validate's job.
+func splitRouters(spec string) []string {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	var out []string
+	for _, u := range strings.Split(spec, ",") {
+		out = append(out, strings.TrimSpace(u))
+	}
+	return out
 }
 
 // discoverSchema asks the server for the estimator's domain sizes and

@@ -14,6 +14,14 @@
 // sub-frames, and reassembled in the original item order — positionally
 // and bitwise identical to a single node's answer stream.
 //
+// Warm reads never leave the router: POST /query, /groupby, and
+// /query/batch answers are cached (-cache entries, -1 disables), keyed by
+// canonical query identity and proven fresh by the generation each node
+// stamps on its answers — a routed write fences its dataset so no cached
+// answer can outlive it, and concurrent identical misses collapse into a
+// single node round trip. Responses served this way carry
+// "X-Router-Cache: hit".
+//
 // -place dataset=K declares a partitioned placement: a count or group-by
 // query against "<dataset>/partitioned" is scattered as K per-partition
 // queries across the fleet and merged on the router (counts summed in
@@ -58,6 +66,7 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker sheds traffic before probing the node again")
 		maxBody      = flag.Int64("max-body-bytes", 1<<20, "proxied request body cap in bytes (bodies are buffered for retries)")
 		fanoutBatch  = flag.Int("fanout-batch", 64, "batch size at and above which /query/batch fans out across healthy nodes (-1 forwards every batch whole)")
+		cacheSize    = flag.Int("cache", 4096, "router read cache size in entries; warm reads are answered without a node round trip, kept fresh by generation fencing (-1 disables)")
 		place        = flag.String("place", "", "comma-separated partitioned placements, dataset=K each: scatter <dataset>/partitioned queries as K per-partition queries across the fleet")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
@@ -82,6 +91,7 @@ func main() {
 		BreakerCooldown:  *brkCooldown,
 		MaxBodyBytes:     *maxBody,
 		FanoutBatch:      *fanoutBatch,
+		CacheSize:        *cacheSize,
 		Placements:       placements,
 	})
 	if err != nil {

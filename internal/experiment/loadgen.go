@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +62,19 @@ type LoadOptions struct {
 	// exercises the server's historical-estimator cache. Overrides
 	// Version when non-empty.
 	VersionMix []int
+	// Routers lists alternative base URLs that request slots rotate
+	// through round-robin (slot j targets Routers[j % len]); they must
+	// front the same fleet or answers will diverge. Empty keeps every
+	// request on DriveHTTP's baseURL argument.
+	Routers []string
+}
+
+// targetFor returns the base URL request slot j should hit.
+func (o *LoadOptions) targetFor(baseURL string, j int) string {
+	if len(o.Routers) == 0 {
+		return baseURL
+	}
+	return strings.TrimRight(o.Routers[j%len(o.Routers)], "/")
 }
 
 // versionFor returns the snapshot version request slot j should target.
@@ -250,10 +264,11 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				target := opts.targetFor(baseURL, j)
 				if mix != nil && j%mix.Every == 0 {
 					body := ingestBodies[(j/mix.Every)%len(ingestBodies)]
 					t0 := time.Now()
-					resp, err := client.Post(baseURL+"/ingest/"+mix.Dataset, "application/json", bytes.NewReader(body))
+					resp, err := client.Post(target+"/ingest/"+mix.Dataset, "application/json", bytes.NewReader(body))
 					ns := time.Since(t0).Nanoseconds()
 					mu.Lock()
 					ingestReqs++
@@ -291,7 +306,7 @@ func DriveHTTP(baseURL, estimator string, workload []Query, opts LoadOptions) (*
 				c := calls[j%len(calls)]
 				// The snapshot version travels as a URL override, so the
 				// pre-marshaled bodies stay shared across a version mix.
-				url := baseURL + c.path
+				url := target + c.path
 				if v := opts.versionFor(j); v > 0 {
 					url += "?version=" + strconv.Itoa(v)
 				}
@@ -469,7 +484,7 @@ func driveBatched(baseURL, estimator string, workload []Query, opts LoadOptions)
 			defer wg.Done()
 			for j := range jobs {
 				r := rounds[j%len(rounds)]
-				url := baseURL + "/query/batch"
+				url := opts.targetFor(baseURL, j) + "/query/batch"
 				if len(opts.VersionMix) > 0 {
 					if v := opts.versionFor(j); v > 0 {
 						url += "?version=" + strconv.Itoa(v)

@@ -2,7 +2,9 @@ package experiment_test
 
 import (
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/exact"
@@ -68,5 +70,49 @@ func TestDriveHTTP(t *testing.T) {
 	}
 	if res.LatencyP50NS != 0 || res.LatencyMeanNS != 0 {
 		t.Fatalf("all-failed run reported latencies: %+v", res)
+	}
+}
+
+// TestDriveHTTPRouters proves the round-robin target rotation: two
+// front-ends over the same estimator each receive an even share of the
+// requests, and baseURL receives none.
+func TestDriveHTTPRouters(t *testing.T) {
+	rel := experiment.SyntheticRelation(500, rand.New(rand.NewSource(5)))
+	reg := server.NewRegistry()
+	if err := reg.Register("demo/exact", exact.New(rel), rel.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Options{})
+	counted := func(hits *atomic.Int64) http.Handler {
+		h := srv.Handler()
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			h.ServeHTTP(w, r)
+		})
+	}
+	var hitsA, hitsB, hitsBase atomic.Int64
+	tsA := httptest.NewServer(counted(&hitsA))
+	defer tsA.Close()
+	tsB := httptest.NewServer(counted(&hitsB))
+	defer tsB.Close()
+	tsBase := httptest.NewServer(counted(&hitsBase))
+	defer tsBase.Close()
+
+	workload := experiment.GenerateWorkload(rel.Schema(), 20, rand.New(rand.NewSource(6)))
+	res, err := experiment.DriveHTTP(tsBase.URL, "demo/exact", workload, experiment.LoadOptions{
+		Concurrency: 4,
+		Routers:     []string{tsA.URL, tsB.URL + "/"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d request errors, first: %s", res.Errors, res.FirstError)
+	}
+	if a, b := hitsA.Load(), hitsB.Load(); a != 10 || b != 10 {
+		t.Fatalf("round-robin split = %d/%d, want 10/10", a, b)
+	}
+	if n := hitsBase.Load(); n != 0 {
+		t.Fatalf("baseURL received %d requests despite router targets", n)
 	}
 }

@@ -57,5 +57,13 @@ func (o *LoadOptions) Validate() error {
 			return fmt.Errorf("experiment: versioned reads and an ingest mix are mutually exclusive (snapshots are immutable)")
 		}
 	}
+	for i, u := range o.Routers {
+		if strings.TrimSpace(u) == "" {
+			return fmt.Errorf("experiment: router target %d is empty", i)
+		}
+		if !strings.Contains(u, "://") {
+			return fmt.Errorf("experiment: router target %d: %q is not a URL (want e.g. http://host:8090)", i, u)
+		}
+	}
 	return nil
 }

@@ -57,6 +57,10 @@ func TestLoadOptionsValidate(t *testing.T) {
 		{"ingest with version", LoadOptions{Version: 1, Ingest: mix}, "mutually exclusive"},
 		{"ingest with mix", LoadOptions{VersionMix: []int{1}, Ingest: mix}, "mutually exclusive"},
 		{"dormant ingest with batch", LoadOptions{Batch: 8, Ingest: &IngestMix{Dataset: "demo"}}, ""},
+		{"router targets", LoadOptions{Routers: []string{"http://a:8090", "http://b:8090"}}, ""},
+		{"routers with batch", LoadOptions{Batch: 16, Routers: []string{"http://a:8090"}}, ""},
+		{"empty router target", LoadOptions{Routers: []string{"http://a:8090", "  "}}, "is empty"},
+		{"non-URL router target", LoadOptions{Routers: []string{"a:8090"}}, "not a URL"},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate()

@@ -2,10 +2,12 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -65,12 +67,167 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		decodeOK = false // forward whole; the node resolves the override
 	}
 
+	if decodeOK && rt.cache != nil && version >= 0 &&
+		len(items) > 0 && len(items) <= query.MaxBatchItems {
+		rt.serveBatch(w, r, estimator, version, items, binaryResp)
+		return
+	}
 	ways := rt.healthyCount()
 	if !decodeOK || rt.opts.FanoutBatch < 0 || len(items) < rt.opts.FanoutBatch || ways < 2 {
 		rt.forward(w, r, body, -1)
 		return
 	}
 	rt.fanOutBatch(w, r, estimator, version, items, ways, binaryResp)
+}
+
+// serveBatch answers a decoded batch from the router cache where it can
+// and fetches only the missing items from the fleet: an all-hit batch
+// never leaves the router, a partial hit ships a sub-batch holding just
+// the misses (fanned out across healthy nodes past the FanoutBatch
+// threshold), and the fetched answers are reassembled positionally and
+// cached under the same generation fencing as single reads. Per-item
+// errors (arity mismatch, estimator refusal) ride along uncached, exactly
+// as a node reports them.
+func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request, estimator string, version int, items []query.BatchItem, binaryResp bool) {
+	answers := make([]query.BatchAnswer, len(items))
+	keys := make([]string, len(items))
+	var missIdx []int
+	genCur, genOK := rt.gens.current(estimator)
+	for i, it := range items {
+		kind := "c"
+		if len(it.GroupBy) > 0 {
+			kind = "g"
+		}
+		keys[i] = routerQueryKey(estimator, version, kind, it.Pred, it.GroupBy)
+		if v, ok := rt.cache.Get(keys[i]); ok {
+			e := v.(cachedRead)
+			if version > 0 || (genOK && e.gen == genCur) {
+				answers[i] = e.toBatchAnswer()
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		w.Header().Set(RouterCacheHeader, "hit")
+	} else {
+		got, gens, herr := rt.fetchMisses(r.Context(), estimator, version, query.Pick(items, missIdx))
+		if herr != nil {
+			writeError(w, herr.status, herr.msg)
+			return
+		}
+		for j, idx := range missIdx {
+			a := got[j]
+			answers[idx] = a
+			if a.Error != "" {
+				continue
+			}
+			switch {
+			case version > 0:
+				rt.cache.Put(keys[idx], batchEntry(a, 0, estimator, version))
+			case gens[j] == 0:
+				// The node did not vouch for a live generation.
+			case rt.gens.observe(estimator, gens[j]):
+				rt.cache.Put(keys[idx], batchEntry(a, gens[j], estimator, 0))
+			default:
+				rt.staleSkips.Add(1)
+			}
+		}
+	}
+	writeBatchAnswers(w, estimator, version, answers, binaryResp)
+}
+
+// batchEntry converts one fetched batch answer into a cache entry.
+func batchEntry(a query.BatchAnswer, gen uint64, estimator string, version int) cachedRead {
+	e := cachedRead{gen: gen, estimator: estimator, version: version, isGroup: a.IsGroup, count: a.Count}
+	if a.IsGroup {
+		e.groups = make([]server.GroupRow, len(a.Groups))
+		for i, g := range a.Groups {
+			e.groups[i] = server.GroupRow{Values: g.Values, Estimate: g.Estimate}
+		}
+	}
+	return e
+}
+
+// fetchMisses fetches the given items from the fleet on the binary wire,
+// splitting across healthy nodes when the miss set itself clears the
+// fan-out threshold, and returns the answers in item order plus the
+// generation each answering node vouched for (0 when it did not). A node
+// error keeps its own status so a single-node refusal (unknown estimator,
+// oversized batch) reaches the client as the node sent it.
+func (rt *Router) fetchMisses(ctx context.Context, estimator string, version int, items []query.BatchItem) ([]query.BatchAnswer, []uint64, *routeError) {
+	ways := rt.healthyCount()
+	if rt.opts.FanoutBatch < 0 || len(items) < rt.opts.FanoutBatch || ways < 2 {
+		ways = 1
+	} else {
+		rt.fannedOut.Add(1)
+	}
+	assign := query.AssignRoundRobin(len(items), ways)
+	parts := make([][]query.BatchAnswer, len(assign))
+	partGens := make([]uint64, len(assign))
+	errs := make([]*routeError, len(assign))
+	header := http.Header{
+		"Content-Type": []string{server.BinaryBatchContentType},
+		"Accept":       []string{server.BinaryBatchContentType},
+	}
+	var wg sync.WaitGroup
+	for wi, indexes := range assign {
+		wg.Add(1)
+		go func(wi int, indexes []int) {
+			defer wg.Done()
+			frame, err := query.AppendBatchAt(nil, estimator, version, query.Pick(items, indexes))
+			if err != nil {
+				errs[wi] = &routeError{status: http.StatusBadGateway, msg: err.Error()}
+				return
+			}
+			resp, _, herr := rt.roundTrip(ctx, http.MethodPost, "/query/batch", header, frame, -1)
+			if herr != nil {
+				errs[wi] = herr
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+				msg := strings.TrimSpace(string(b))
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(b, &e) == nil && e.Error != "" {
+					msg = e.Error
+				}
+				errs[wi] = &routeError{status: resp.StatusCode, msg: msg}
+				return
+			}
+			if raw := resp.Header.Get(server.EstimatorGenerationHeader); raw != "" {
+				if g, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
+					partGens[wi] = g
+				}
+			}
+			_, answers, err := query.DecodeAnswers(resp.Body)
+			if err != nil {
+				errs[wi] = &routeError{status: http.StatusBadGateway, msg: fmt.Sprintf("sub-batch %d: %v", wi, err)}
+				return
+			}
+			parts[wi] = answers
+		}(wi, indexes)
+	}
+	wg.Wait()
+	for _, herr := range errs {
+		if herr != nil {
+			return nil, nil, herr
+		}
+	}
+	answers, err := query.GatherAnswers(len(items), assign, parts)
+	if err != nil {
+		return nil, nil, &routeError{status: http.StatusBadGateway, msg: err.Error()}
+	}
+	gens := make([]uint64, len(items))
+	for wi, indexes := range assign {
+		for _, idx := range indexes {
+			gens[idx] = partGens[wi]
+		}
+	}
+	return answers, gens, nil
 }
 
 // fanOutBatch scatters the items across ways sub-batches, ships each as a
@@ -126,7 +283,12 @@ func (rt *Router) fanOutBatch(w http.ResponseWriter, r *http.Request, estimator 
 		writeError(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	writeBatchAnswers(w, estimator, version, answers, binaryResp)
+}
 
+// writeBatchAnswers emits a gathered answer stream on the client's wire,
+// positionally identical to a single-node answer stream.
+func writeBatchAnswers(w http.ResponseWriter, estimator string, version int, answers []query.BatchAnswer, binaryResp bool) {
 	if binaryResp {
 		frame, err := query.AppendAnswers(nil, estimator, answers)
 		if err != nil {

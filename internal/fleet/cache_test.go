@@ -1,0 +1,363 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/fleet/fleettest"
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+// postTagged posts a JSON body and returns the status, the X-Router-Cache
+// header value, and the raw response body.
+func postTagged(t testing.TB, url string, body interface{}) (int, string, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get(fleet.RouterCacheHeader), raw
+}
+
+// TestRouterCacheEquivalenceAndHotSwap is the read cache's correctness
+// oracle. A randomized workload is asked through the router twice on the
+// JSON wire and once through each batch wire: repeat asks must be served
+// from the router cache (X-Router-Cache: hit) and every answer — cached
+// or not — must stay bit-identical to a direct summaryd query. Then a
+// routed ingest crosses the refresh threshold and hot-swaps the
+// estimator's generation: the very next ask of every cached query must
+// MISS (no cached answer survives a generation change) and match the
+// fresh direct answer, and the ask after that must be a hit again.
+func TestRouterCacheEquivalenceAndHotSwap(t *testing.T) {
+	f := fleettest.New(t, fleettest.Options{
+		Nodes:       1,
+		RefreshRows: 300,
+		Router:      fleet.Options{Timeout: 5 * time.Second},
+	})
+	primary := f.Primary().URL()
+	routed := f.RouterURL()
+	est := "demo/maxent"
+	rng := rand.New(rand.NewSource(31))
+
+	// Dedupe the workload: the miss-after-invalidation assertion below
+	// needs every query to be distinct, or a duplicate's "first" ask would
+	// legitimately hit on its twin's entry.
+	var workload []experiment.Query
+	seen := map[string]bool{}
+	for _, q := range experiment.GenerateWorkload(experiment.SyntheticSchema(), 24, rng) {
+		key, err := json.Marshal(struct {
+			P *query.Predicate
+			G []int
+		}{q.Pred, q.GroupBy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			workload = append(workload, q)
+		}
+	}
+
+	// check asks one query through the router and compares it bitwise
+	// against a fresh direct answer. want is "hit", "miss", or "" (don't
+	// care) for the X-Router-Cache header.
+	check := func(phase string, qi int, q experiment.Query, want string) {
+		t.Helper()
+		label := fmt.Sprintf("%s: query %d", phase, qi)
+		assertTag := func(tag string) {
+			t.Helper()
+			if hit := tag == "hit"; want != "" && hit != (want == "hit") {
+				t.Fatalf("%s: cache hit = %v, want %s", label, hit, want)
+			}
+		}
+		if q.IsGroupBy() {
+			req := server.GroupByRequest{Estimator: est, Predicate: q.Pred, GroupBy: q.GroupBy}
+			var direct server.GroupByResponse
+			if s := postJSON(t, primary+"/groupby", req, &direct); s != http.StatusOK {
+				t.Fatalf("%s: direct status %d", label, s)
+			}
+			s, tag, raw := postTagged(t, routed+"/groupby", req)
+			if s != http.StatusOK {
+				t.Fatalf("%s: routed status %d: %s", label, s, raw)
+			}
+			assertTag(tag)
+			var got server.GroupByResponse
+			if err := json.Unmarshal(raw, &got); err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, label, direct.Groups, got.Groups)
+			return
+		}
+		req := server.QueryRequest{Estimator: est, Predicate: q.Pred}
+		var direct server.QueryResponse
+		if s := postJSON(t, primary+"/query", req, &direct); s != http.StatusOK {
+			t.Fatalf("%s: direct status %d", label, s)
+		}
+		s, tag, raw := postTagged(t, routed+"/query", req)
+		if s != http.StatusOK {
+			t.Fatalf("%s: routed status %d: %s", label, s, raw)
+		}
+		assertTag(tag)
+		var got server.QueryResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		sameCount(t, label, direct.Count, got.Count)
+	}
+
+	// checkBatches drives the same workload through both batch wires and
+	// asserts the expected cache tag plus bitwise equivalence with the
+	// primary's own batch answers.
+	items := make([]query.BatchItem, len(workload))
+	jsonItems := make([]server.BatchQueryItem, len(workload))
+	for i, q := range workload {
+		items[i] = query.BatchItem{Pred: q.Pred, GroupBy: q.GroupBy}
+		jsonItems[i] = server.BatchQueryItem{Predicate: q.Pred, GroupBy: q.GroupBy}
+	}
+	frame, err := query.AppendBatchAt(nil, est, 0, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatches := func(phase, want string) {
+		t.Helper()
+		direct := postBinaryBatch(t, primary, frame)
+
+		resp, err := http.Post(routed+"/query/batch", server.BinaryBatchContentType, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := resp.Header.Get(fleet.RouterCacheHeader)
+		_, answers, err := query.DecodeAnswers(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit := tag == "hit"; want != "" && hit != (want == "hit") {
+			t.Fatalf("%s: binary batch cache hit = %v, want %s", phase, hit, want)
+		}
+		if err := sameAnswers(direct, answers); err != nil {
+			t.Fatalf("%s: binary batch: %v", phase, err)
+		}
+
+		var directJSON server.BatchQueryResponse
+		req := server.BatchQueryRequest{Estimator: est, Queries: jsonItems}
+		if s := postJSON(t, primary+"/query/batch", req, &directJSON); s != http.StatusOK {
+			t.Fatalf("%s: direct json batch status %d", phase, s)
+		}
+		s, jtag, raw := postTagged(t, routed+"/query/batch", req)
+		if s != http.StatusOK {
+			t.Fatalf("%s: routed json batch status %d: %s", phase, s, raw)
+		}
+		if jtag != "hit" {
+			// The binary pass above cached every item, so the JSON pass over
+			// the same items must be served on the router.
+			t.Fatalf("%s: json batch after binary batch was not a cache hit", phase)
+		}
+		var gotJSON server.BatchQueryResponse
+		if err := json.Unmarshal(raw, &gotJSON); err != nil {
+			t.Fatal(err)
+		}
+		if len(directJSON.Answers) != len(gotJSON.Answers) {
+			t.Fatalf("%s: routed %d json answers, direct %d", phase, len(gotJSON.Answers), len(directJSON.Answers))
+		}
+		for i := range directJSON.Answers {
+			w, g := directJSON.Answers[i], gotJSON.Answers[i]
+			label := fmt.Sprintf("%s: json batch item %d", phase, i)
+			if w.Error != g.Error || w.IsGroup != g.IsGroup {
+				t.Fatalf("%s: routed %+v, direct %+v", label, g, w)
+			}
+			if w.IsGroup {
+				sameGroups(t, label, w.Groups, g.Groups)
+			} else if w.Error == "" {
+				sameCount(t, label, w.Count, g.Count)
+			}
+		}
+	}
+
+	for qi, q := range workload {
+		check("pre-swap first ask", qi, q, "") // may hit only if a prior query shares the entry — deduped, so effectively cold
+		check("pre-swap second ask", qi, q, "hit")
+	}
+	checkBatches("pre-swap", "hit") // every item was cached by the sequential pass
+
+	// Time travel: version-1 answers are immutable; the second ask must be
+	// a router-cache hit with the bit-identical count.
+	var firstCount experiment.Query
+	found := false
+	for _, q := range workload {
+		if !q.IsGroupBy() {
+			firstCount, found = q, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("workload has no count query")
+	}
+	vreq := server.QueryRequest{Estimator: est, Predicate: firstCount.Pred, Version: 1}
+	var directV1 server.QueryResponse
+	if s := postJSON(t, primary+"/query", vreq, &directV1); s != http.StatusOK {
+		t.Fatalf("direct v1 query status %d", s)
+	}
+	if s, _, _ := postTagged(t, routed+"/query", vreq); s != http.StatusOK {
+		t.Fatalf("routed v1 query status %d", s)
+	}
+	s, tag, raw := postTagged(t, routed+"/query", vreq)
+	if s != http.StatusOK {
+		t.Fatalf("routed v1 repeat status %d", s)
+	}
+	if tag != "hit" {
+		t.Fatal("repeat time-travel query was not a cache hit")
+	}
+	var gotV1 server.QueryResponse
+	if err := json.Unmarshal(raw, &gotV1); err != nil {
+		t.Fatal(err)
+	}
+	sameCount(t, "time travel v1", directV1.Count, gotV1.Count)
+
+	// The hot swap: a routed ingest crosses the 300-row refresh threshold,
+	// bumping the live generation and fencing the router cache.
+	var ing server.IngestResult
+	if s := postJSON(t, routed+"/ingest/demo", server.IngestRequest{Rows: fleettest.Rows(400, 2)}, &ing); s != http.StatusOK {
+		t.Fatalf("routed ingest status %d", s)
+	}
+	if !ing.Refreshed {
+		t.Fatalf("ingest of 400 rows above the 300-row threshold did not refresh: %+v", ing)
+	}
+	if err := f.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The zero-staleness drill: every query was cached above, and every
+	// first re-ask must now MISS and match the post-swap direct answer;
+	// the re-cached entry then serves hits again.
+	for qi, q := range workload {
+		check("post-swap first ask", qi, q, "miss")
+		check("post-swap second ask", qi, q, "hit")
+	}
+	checkBatches("post-swap", "hit")
+
+	m := routerMetrics(t, routed)
+	if m.Cache == nil {
+		t.Fatal("router metrics carry no cache stats with the cache enabled")
+	}
+	if m.Cache.Hits == 0 || m.Cache.Invalidations == 0 {
+		t.Fatalf("cache stats do not reflect the run: %+v", *m.Cache)
+	}
+	if m.StaleSkips != 0 {
+		t.Fatalf("%d node answers were refused as stale in a single-node fleet", m.StaleSkips)
+	}
+}
+
+// TestRouterSingleflightCollapse proves the duplicate-suppression
+// guarantee: N concurrent identical cold reads cost the fleet exactly ONE
+// node round trip. The node-side request counters are the ground truth —
+// any request that neither joined the in-flight leader nor hit the cache
+// would show up there.
+func TestRouterSingleflightCollapse(t *testing.T) {
+	f := fleettest.New(t, fleettest.Options{
+		Nodes:  2,
+		Router: fleet.Options{Timeout: 5 * time.Second},
+	})
+	routed := f.RouterURL()
+
+	nodeRequests := func() uint64 {
+		var total uint64
+		for _, n := range f.Nodes {
+			resp, err := http.Get(n.URL() + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m server.MetricsResponse
+			err = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += m.RequestsTotal
+		}
+		return total
+	}
+
+	// The oracle answer, fetched directly BEFORE the baseline is taken.
+	var direct server.QueryResponse
+	if s := postJSON(t, f.Primary().URL()+"/query", server.QueryRequest{Estimator: "demo/maxent"}, &direct); s != http.StatusOK {
+		t.Fatalf("direct query status %d", s)
+	}
+	before := nodeRequests()
+	m0 := routerMetrics(t, routed)
+
+	const concurrent = 16
+	payload, _ := json.Marshal(server.QueryRequest{Estimator: "demo/maxent"})
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(routed+"/query", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %v", i, err)
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("worker %d: status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			var got server.QueryResponse
+			if err := json.Unmarshal(raw, &got); err != nil {
+				errs <- fmt.Errorf("worker %d: %v", i, err)
+				return
+			}
+			if math.Float64bits(got.Count) != math.Float64bits(direct.Count) {
+				errs <- fmt.Errorf("worker %d: count %v, want %v", i, got.Count, direct.Count)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if d := nodeRequests() - before; d != 1 {
+		t.Fatalf("%d concurrent identical cold reads reached the nodes %d times, want exactly 1 (singleflight + cache must absorb the rest)", concurrent, d)
+	}
+	// The other N-1 were either collapsed onto the leader's flight or —
+	// if they arrived after the leader finished — served from the cache.
+	// Which way each one fell depends on scheduling; the sum does not.
+	m1 := routerMetrics(t, routed)
+	if m1.Cache == nil || m0.Cache == nil {
+		t.Fatal("router metrics carry no cache stats with the cache enabled")
+	}
+	collapsed := m1.Collapsed - m0.Collapsed
+	hits := m1.Cache.Hits - m0.Cache.Hits
+	if collapsed+hits != concurrent-1 {
+		t.Fatalf("collapsed %d + cache hits %d = %d, want %d — some duplicate was neither collapsed nor cached",
+			collapsed, hits, collapsed+hits, concurrent-1)
+	}
+}

@@ -51,12 +51,16 @@ func nodeStatus(t testing.TB, routerURL, name string) fleet.NodeStatus {
 // while they are mid-flight, and every single batch must still come back
 // bit-identical to single-node serving — zero failed queries.
 func TestFleetKillReplicaMidLoad(t *testing.T) {
+	// CacheSize -1: the drill needs every round to reach a node — a warm
+	// router cache would absorb the identical frames and the kill would
+	// land on no in-flight traffic.
 	f := fleettest.New(t, fleettest.Options{
 		Nodes: 3,
 		Router: fleet.Options{
 			FanoutBatch:  8,
 			RetryBackoff: time.Millisecond,
 			Timeout:      5 * time.Second,
+			CacheSize:    -1,
 		},
 	})
 	routed := f.RouterURL()
@@ -157,6 +161,8 @@ func TestFleetKillReplicaMidLoad(t *testing.T) {
 // peers) → fault cleared → cooldown probe → breaker closes and the node
 // serves again.
 func TestFleetBreakerOpensAndRecovers(t *testing.T) {
+	// CacheSize -1: the probe query is identical every ask — cached hits
+	// would never touch the sick node and the breaker could not trip.
 	f := fleettest.New(t, fleettest.Options{
 		Nodes: 3,
 		Router: fleet.Options{
@@ -164,6 +170,7 @@ func TestFleetBreakerOpensAndRecovers(t *testing.T) {
 			BreakerCooldown:  100 * time.Millisecond,
 			RetryBackoff:     time.Millisecond,
 			Timeout:          5 * time.Second,
+			CacheSize:        -1,
 		},
 	})
 	routed := f.RouterURL()
@@ -227,11 +234,14 @@ func TestFleetBreakerOpensAndRecovers(t *testing.T) {
 // the fleet: the router's per-attempt timeout abandons it and a peer
 // answers.
 func TestFleetHangingReplica(t *testing.T) {
+	// CacheSize -1: all eight probes are the same query; the drill wants
+	// each one to risk landing on the hanging node.
 	f := fleettest.New(t, fleettest.Options{
 		Nodes: 3,
 		Router: fleet.Options{
 			Timeout:      150 * time.Millisecond,
 			RetryBackoff: time.Millisecond,
+			CacheSize:    -1,
 		},
 	})
 	f.Nodes[1].SetFault(fleettest.Hang)

@@ -51,6 +51,11 @@ type Options struct {
 	// split across healthy nodes instead of forwarded whole (default 64;
 	// < 0 disables fan-out).
 	FanoutBatch int
+	// CacheSize bounds the router's read cache in entries (default 4096;
+	// < 0 disables router-side caching). Warm reads are then answered on
+	// the router without a node round trip, kept provably fresh by the
+	// generation fencing described on genTable.
+	CacheSize int
 	// Placements maps dataset names to their partition count K. A count
 	// or group-by query against "<dataset>/partitioned" is then scattered
 	// as K per-partition queries ("<dataset>/partitioned.p<k>") across
@@ -84,6 +89,9 @@ func (o *Options) setDefaults() {
 	if o.FanoutBatch == 0 {
 		o.FanoutBatch = 64
 	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
 	if o.Now == nil {
 		o.Now = time.Now
 	}
@@ -115,13 +123,22 @@ type Router struct {
 	routes []string
 	start  time.Time
 
-	rr        atomic.Uint64
-	requests  atomic.Uint64
-	retries   atomic.Uint64
-	notifies  atomic.Uint64
-	exhausted atomic.Uint64
-	scattered atomic.Uint64
-	fannedOut atomic.Uint64
+	// Read-cache state (all nil when Options.CacheSize < 0): answers,
+	// the per-estimator generation table proving them fresh, and the
+	// in-flight miss collapser.
+	cache   *server.Cache
+	gens    *genTable
+	flights *flightGroup
+
+	rr         atomic.Uint64
+	requests   atomic.Uint64
+	retries    atomic.Uint64
+	notifies   atomic.Uint64
+	exhausted  atomic.Uint64
+	scattered  atomic.Uint64
+	fannedOut  atomic.Uint64
+	collapsed  atomic.Uint64
+	staleSkips atomic.Uint64
 }
 
 // NewRouter builds a router over the replica set. The first node is the
@@ -138,6 +155,11 @@ func NewRouter(nodes []NodeConfig, opts Options) (*Router, error) {
 		}
 	}
 	rt := &Router{opts: opts, start: opts.Now()}
+	if opts.CacheSize > 0 {
+		rt.cache = server.NewCache(opts.CacheSize)
+		rt.gens = newGenTable()
+		rt.flights = newFlightGroup()
+	}
 	seen := make(map[string]bool, len(nodes))
 	for i, nc := range nodes {
 		if nc.URL == "" {
@@ -371,15 +393,27 @@ func requestPath(r *http.Request) string {
 }
 
 func relayResponse(w http.ResponseWriter, resp *http.Response, n *node) {
-	for _, k := range []string{"Content-Type",
+	relayHeaders(w, resp, n)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// relayBytes is relayResponse for a body the router already buffered
+// (the cache-capture path reads the body before relaying it).
+func relayBytes(w http.ResponseWriter, resp *http.Response, n *node, body []byte) {
+	relayHeaders(w, resp, n)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+func relayHeaders(w http.ResponseWriter, resp *http.Response, n *node) {
+	for _, k := range []string{"Content-Type", server.EstimatorGenerationHeader,
 		server.SnapshotVersionHeader, server.SnapshotChecksumHeader, server.SnapshotEstimatorHeader} {
 		if v := resp.Header.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
 	}
 	w.Header().Set(FleetNodeHeader, n.name)
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
 }
 
 // FleetNodeHeader names the node that served a routed response.
@@ -474,7 +508,9 @@ func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(bodyCopy)
 
 	if resp.StatusCode == http.StatusOK && rt.publishedSnapshots(r.URL.Path, bodyCopy) {
-		rt.notifyReplicas(r.Context(), datasetOfWrite(r.URL.Path))
+		dataset := datasetOfWrite(r.URL.Path)
+		rt.invalidateDataset(dataset)
+		rt.notifyReplicas(r.Context(), dataset)
 	}
 }
 
@@ -544,15 +580,22 @@ type NodeStatus struct {
 
 // FleetMetricsResponse is the body of the router's GET /metrics.
 type FleetMetricsResponse struct {
-	Role          string       `json:"role"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      uint64       `json:"requests"`
-	Retries       uint64       `json:"retries"`
-	Exhausted     uint64       `json:"exhausted"`
-	Notifies      uint64       `json:"notifies"`
-	Scattered     uint64       `json:"scattered"`
-	FannedOut     uint64       `json:"fanned_out"`
-	Nodes         []NodeStatus `json:"nodes"`
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests"`
+	Retries       uint64  `json:"retries"`
+	Exhausted     uint64  `json:"exhausted"`
+	Notifies      uint64  `json:"notifies"`
+	Scattered     uint64  `json:"scattered"`
+	FannedOut     uint64  `json:"fanned_out"`
+	// Collapsed counts reads answered by joining an identical in-flight
+	// miss (singleflight): they paid no node round trip of their own.
+	Collapsed uint64 `json:"singleflight_collapsed"`
+	// StaleSkips counts node answers relayed but refused by the cache
+	// because the answering node had not yet applied a routed write.
+	StaleSkips uint64             `json:"cache_stale_skips"`
+	Cache      *server.CacheStats `json:"cache,omitempty"`
+	Nodes      []NodeStatus       `json:"nodes"`
 }
 
 func (rt *Router) nodeStatuses() []NodeStatus {
@@ -601,7 +644,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(FleetMetricsResponse{
+	out := FleetMetricsResponse{
 		Role:          "router",
 		UptimeSeconds: rt.opts.Now().Sub(rt.start).Seconds(),
 		Requests:      rt.requests.Load(),
@@ -610,8 +653,15 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Notifies:      rt.notifies.Load(),
 		Scattered:     rt.scattered.Load(),
 		FannedOut:     rt.fannedOut.Load(),
+		Collapsed:     rt.collapsed.Load(),
+		StaleSkips:    rt.staleSkips.Load(),
 		Nodes:         rt.nodeStatuses(),
-	})
+	}
+	if rt.cache != nil {
+		st := rt.cache.Stats()
+		out.Cache = &st
+	}
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // --- query routing ----------------------------------------------------
@@ -648,6 +698,10 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if read, ok := rt.parseRead(r, body, false); ok {
+		rt.serveRead(w, r, body, read)
+		return
+	}
 	rt.forward(w, r, body, -1)
 }
 
@@ -664,6 +718,10 @@ func (rt *Router) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+	}
+	if read, ok := rt.parseRead(r, body, true); ok {
+		rt.serveRead(w, r, body, read)
+		return
 	}
 	rt.forward(w, r, body, -1)
 }

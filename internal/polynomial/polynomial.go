@@ -22,6 +22,7 @@ package polynomial
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -153,6 +154,11 @@ type Compressed struct {
 	// term-struct dereference.
 	constrained [][]int32
 	conRanges   [][]query.Range
+	// conBits[a] is constrained[a] as a bitset over term indexes (bit i set
+	// iff a ∈ terms[i].attrs) — the posting lists in popcountable form, so
+	// the exact touched-set cardinality |∪_{a∈S} constrained[a]| behind the
+	// route-to-full-walk cutoff costs O(|S|·terms/64) instead of a term walk.
+	conBits [][]uint64
 	// attrBits[i] is the bitmask of term i's attribute set I (bit a set
 	// iff a ∈ terms[i].attrs). It makes the touched(S) membership test and
 	// the first-constrained-attribute dedup of the union iterator O(1).
@@ -247,6 +253,12 @@ func (c *Compressed) buildIndexes() {
 	c.statTerms = make([][]int32, len(c.specs))
 	c.constrained = make([][]int32, len(c.sizes))
 	c.conRanges = make([][]query.Range, len(c.sizes))
+	words := (len(c.terms) + 63) / 64
+	c.conBits = make([][]uint64, len(c.sizes))
+	slab := make([]uint64, words*len(c.sizes))
+	for a := range c.conBits {
+		c.conBits[a], slab = slab[:words], slab[words:]
+	}
 	if len(c.sizes) <= 64 {
 		c.attrBits = make([]uint64, len(c.terms))
 	}
@@ -261,6 +273,7 @@ func (c *Compressed) buildIndexes() {
 				}
 				c.constrained[a] = append(c.constrained[a], int32(i))
 				c.conRanges[a] = append(c.conRanges[a], r)
+				c.conBits[a][i>>6] |= 1 << uint(i&63)
 				if c.attrBits != nil {
 					c.attrBits[i] |= 1 << uint(a)
 				}
@@ -272,6 +285,30 @@ func (c *Compressed) buildIndexes() {
 			c.statTerms[j] = append(c.statTerms[j], int32(i))
 		}
 	}
+}
+
+// touchedCount returns the exact touched-set cardinality
+// |touched(S)| = |∪_{a∈attrs} constrained[a]| by OR-ing the per-attribute
+// term bitsets into buf (len ≥ ⌈terms/64⌉) and popcounting —
+// O(|S|·terms/64), never a per-term walk. A single constrained attribute
+// reads its posting-list length directly.
+func (c *Compressed) touchedCount(attrs []int, buf []uint64) int {
+	if len(attrs) == 1 {
+		return len(c.constrained[attrs[0]])
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, a := range attrs {
+		for i, w := range c.conBits[a] {
+			buf[i] |= w
+		}
+	}
+	n := 0
+	for _, w := range buf {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // combine extends term t with statistic j. It returns false when j is

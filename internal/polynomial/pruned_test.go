@@ -3,6 +3,7 @@ package polynomial
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -259,6 +260,86 @@ func TestMaskedEvalConcurrentReaders(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Fatal(e)
+	}
+}
+
+// TestTouchedCountExact checks the popcounted touched-set cardinality
+// against a brute-force union of the posting lists across random instances
+// and attribute subsets.
+func TestTouchedCountExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 40; trial++ {
+		sizes, _, sys := randomInstance(rng)
+		p := sys.Poly()
+		buf := make([]uint64, (len(p.terms)+63)/64)
+		for k := 1; k <= len(sizes); k++ {
+			attrs := rng.Perm(len(sizes))[:k]
+			sort.Ints(attrs)
+			want := map[int32]struct{}{}
+			for _, a := range attrs {
+				for _, ti := range p.constrained[a] {
+					want[ti] = struct{}{}
+				}
+			}
+			if got := p.touchedCount(attrs, buf); got != len(want) {
+				t.Fatalf("trial %d attrs %v: touchedCount = %d, want %d", trial, attrs, got, len(want))
+			}
+		}
+	}
+}
+
+// TestCutoffRoutesBenchShapes pins the route-to-full-walk calibration on the
+// BENCH.md instance: the all-attrs predicate (whose touched set is the whole
+// polynomial, the documented pruned-path regression) must route to the full
+// walk, while every selective shape stays on the pruned path.
+func TestCutoffRoutesBenchShapes(t *testing.T) {
+	sys, _ := benchSystem(t)
+	sys.Eval(nil)
+	for name, pred := range selectivePreds(sys.Poly().NumAttrs()) {
+		sc := sys.getScratch(pred)
+		_, pruned := sys.evalPruned(sc)
+		sys.putScratch(sc)
+		if name == "allattr" && pruned {
+			t.Fatalf("allattr predicate stayed on the pruned path; want full-walk routing")
+		}
+		if name != "allattr" && !pruned {
+			t.Fatalf("%s predicate routed to the full walk; want pruned path", name)
+		}
+	}
+}
+
+// TestMaskedPrefixEquivalence checks the O(1) masked prefix-column factor
+// sums against the direct maskedSum scan across random instances, constraint
+// shapes, and (clipped, straddling, empty) ranges.
+func TestMaskedPrefixEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		sizes, _, sys := randomInstance(rng)
+		sys.Eval(nil)
+		pred := shapedPredicate(sizes, 1+rng.Intn(len(sizes)), rng)
+		if pred == nil {
+			continue
+		}
+		sc := sys.getScratch(pred)
+		for a := range sizes {
+			n := sizes[a]
+			ranges := []query.Range{
+				fullRange(n),
+				query.NewRange(rng.Intn(n), rng.Intn(2*n)),
+				query.NewRange(-2, rng.Intn(n)),
+				query.NewRange(3, 1),
+				query.Point(rng.Intn(n)),
+			}
+			for _, r := range ranges {
+				got := sys.maskedSumSC(sc, a, r)
+				want := sys.maskedSum(a, r, sc.cons[a])
+				if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+					t.Fatalf("trial %d attr %d range %v cons %v: maskedSumSC = %g, maskedSum = %g",
+						trial, a, r, sc.cons[a], got, want)
+				}
+			}
+		}
+		sys.putScratch(sc)
 	}
 }
 

@@ -62,6 +62,16 @@ type evalScratch struct {
 	attrs   []int     // constrained attribute indexes, ascending
 	maskedF []float64 // per attribute: masked full-domain sum M_a (set for attrs)
 	vals    []int     // backing storage for canonicalized InSet values
+	// termBits is the union-bitset buffer of the touched-set cardinality
+	// cutoff (len ⌈terms/64⌉).
+	termBits []uint64
+	// mprefix[a] is the per-call masked prefix column of an InSet-constrained
+	// attribute (M[i] = Σ_{v<i, v∈set} α_{a,v}, len N_a+1), built lazily on
+	// the attribute's first masked factor so every later factor is O(1)
+	// regardless of the set size. mpBuilt[a] marks columns valid for this
+	// call; the backing arrays persist in the pool across calls.
+	mprefix [][]float64
+	mpBuilt []bool
 }
 
 // NewSystem creates a System over the polynomial with every variable
@@ -102,9 +112,12 @@ func newSystemShell(poly *Compressed) *System {
 	s.zeros = make([]int, len(poly.terms))
 	s.scratchPool.New = func() any {
 		return &evalScratch{
-			cons:    make([]query.Constraint, m),
-			attrs:   make([]int, 0, m),
-			maskedF: make([]float64, m),
+			cons:     make([]query.Constraint, m),
+			attrs:    make([]int, 0, m),
+			maskedF:  make([]float64, m),
+			termBits: make([]uint64, (len(poly.terms)+63)/64),
+			mprefix:  make([][]float64, m),
+			mpBuilt:  make([]bool, m),
 		}
 	}
 	return s
@@ -383,6 +396,65 @@ func (s *System) maskedSum(attr int, r query.Range, c query.Constraint) float64 
 	}
 }
 
+// maskedSumSC is maskedSum over the scratch's per-attribute constraint with
+// every kind resolved in O(1): Any and InRange already go through the global
+// prefix cache, and InSet reads a per-call masked prefix column instead of
+// scanning the value list once per term factor. Columns are built lazily on
+// an attribute's first masked factor (O(N_a) once per call), so queries whose
+// touched terms never hit an InSet attribute pay nothing.
+func (s *System) maskedSumSC(sc *evalScratch, attr int, r query.Range) float64 {
+	c := sc.cons[attr]
+	if c.Kind != query.InSet {
+		return s.maskedSum(attr, r, c)
+	}
+	if !sc.mpBuilt[attr] {
+		s.buildMaskedPrefix(sc, attr)
+	}
+	if r.Empty() {
+		return 0
+	}
+	lo, hi := r.Lo, r.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s.alpha[attr]) {
+		hi = len(s.alpha[attr]) - 1
+	}
+	if hi < lo {
+		return 0
+	}
+	p := sc.mprefix[attr]
+	return p[hi+1] - p[lo]
+}
+
+// buildMaskedPrefix materializes the masked prefix column of an
+// InSet-constrained attribute into the pooled scratch. The set values are
+// canonical (ascending, in-domain — getScratch guarantees it), so one merge
+// pass accumulates the column in the same value order the direct scan sums
+// in.
+func (s *System) buildMaskedPrefix(sc *evalScratch, attr int) {
+	col := s.alpha[attr]
+	p := sc.mprefix[attr]
+	if cap(p) < len(col)+1 {
+		p = make([]float64, len(col)+1)
+	} else {
+		p = p[:len(col)+1]
+	}
+	vals := sc.cons[attr].Values
+	p[0] = 0
+	j := 0
+	sum := 0.0
+	for v := range col {
+		if j < len(vals) && vals[j] == v {
+			sum += col[v]
+			j++
+		}
+		p[v+1] = sum
+	}
+	sc.mprefix[attr] = p
+	sc.mpBuilt[attr] = true
+}
+
 func fullRange(n int) query.Range { return query.Range{Lo: 0, Hi: n - 1} }
 
 // constraintFor extracts the per-attribute constraint from the predicate
@@ -408,6 +480,7 @@ func (s *System) getScratch(pred *query.Predicate) *evalScratch {
 			c.Values = sc.canonValues(c.Values, len(s.alpha[a]))
 		}
 		sc.cons[a] = c
+		sc.mpBuilt[a] = false
 		if c.Kind != query.Any {
 			sc.attrs = append(sc.attrs, a)
 		}
@@ -524,6 +597,21 @@ func (s *System) evalPruned(sc *evalScratch) (float64, bool) {
 		// No constrained attribute: the mask is a no-op.
 		return s.total, true
 	}
+	// Route to the full walk when the touched set covers (nearly) the whole
+	// polynomial: the delta identity then pays a factor swap per constrained
+	// attribute per touched term on top of the subtraction bookkeeping, while
+	// the straight walk pays one m-factor pass per term with no overhead —
+	// the documented all-attrs regression. touched is exact (popcount over
+	// the per-attribute term bitsets, O(|S|·terms/64)), and the crossover
+	//
+	//	touched·(|S|+2) ≥ terms·m
+	//
+	// sends the all-attrs shape to the walk while keeping every selective
+	// shape — even ones touching most terms through a single hot attribute —
+	// on the pruned path.
+	if touched := p.touchedCount(sc.attrs, sc.termBits); touched*(len(sc.attrs)+2) >= len(p.terms)*len(s.alpha) {
+		return 0, false
+	}
 	scale := 1.0
 	var sMask uint64
 	for _, a := range sc.attrs {
@@ -532,7 +620,7 @@ func (s *System) evalPruned(sc *evalScratch) (float64, bool) {
 		if f == 0 {
 			return 0, false
 		}
-		m := s.maskedSum(a, full, sc.cons[a])
+		m := s.maskedSumSC(sc, a, full)
 		sc.maskedF[a] = m
 		scale *= m / f
 		sMask |= 1 << uint(a)
@@ -615,7 +703,7 @@ func (s *System) maskedFactorSwap(i, skip int, sc *evalScratch, val float64, z i
 			}
 			var fNew float64
 			if k < len(t.attrs) && t.attrs[k] == a {
-				fNew = s.maskedSum(a, t.ranges[k], sc.cons[a])
+				fNew = s.maskedSumSC(sc, a, t.ranges[k])
 			} else {
 				fNew = sc.maskedF[a]
 			}
@@ -638,7 +726,7 @@ func (s *System) maskedFactorSwap(i, skip int, sc *evalScratch, val float64, z i
 		fOld := fac[a]
 		var fNew float64
 		if k < len(t.attrs) && t.attrs[k] == a {
-			fNew = s.maskedSum(a, t.ranges[k], sc.cons[a])
+			fNew = s.maskedSumSC(sc, a, t.ranges[k])
 		} else {
 			fNew = sc.maskedF[a]
 		}
@@ -794,7 +882,7 @@ func (s *System) derivOneDPruned(attr, value int, sc *evalScratch) (float64, boo
 		if f == 0 {
 			return 0, false
 		}
-		m := s.maskedSum(a, full, sc.cons[a])
+		m := s.maskedSumSC(sc, a, full)
 		sc.maskedF[a] = m
 		scaleExcl *= m / f
 		sMask |= 1 << uint(a)
@@ -856,7 +944,7 @@ func (s *System) derivMultiPruned(stat int, sc *evalScratch) (float64, bool) {
 		if f == 0 {
 			return 0, false
 		}
-		m := s.maskedSum(a, full, sc.cons[a])
+		m := s.maskedSumSC(sc, a, full)
 		sc.maskedF[a] = m
 		scale *= m / f
 		sMask |= 1 << uint(a)

@@ -129,6 +129,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		fail(herr)
 		return
 	}
+	setGenerationHeader(w, ent)
 	s.metrics.RecordBatch(len(items), body.n, binaryReq)
 
 	answers := make([]query.BatchAnswer, len(items))

@@ -283,6 +283,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// EstimatorGenerationHeader is the response header on /query, /groupby, and
+// /query/batch carrying the generation of the live registry entry that
+// answered. Time-travel answers (version > 0) omit it — they are immutable
+// and identified by snapshot version. The fleet router's read cache stamps
+// its entries with this header, so a routed ingest hot swap invalidates
+// router entries exactly like node-local ones.
+const EstimatorGenerationHeader = "X-Estimator-Generation"
+
+// setGenerationHeader stamps the answering live entry's generation on the
+// response; snapshot entries are immutable and carry no generation.
+func setGenerationHeader(w http.ResponseWriter, ent Entry) {
+	if ent.Snapshot == 0 {
+		w.Header().Set(EstimatorGenerationHeader, strconv.FormatUint(ent.Generation, 10))
+	}
+}
+
 // --- handlers ---------------------------------------------------------
 
 // httpError is an error carrying the HTTP status it should be reported
@@ -315,6 +331,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if herr != nil {
 			return nil, herr
 		}
+		setGenerationHeader(w, ent)
 		if v, ok := s.cache.Get(key); ok {
 			return QueryResponse{Estimator: ent.Name, Version: ent.Snapshot, Count: v.(float64), Cached: true}, nil
 		}
@@ -387,6 +404,7 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		if herr != nil {
 			return nil, herr
 		}
+		setGenerationHeader(w, ent)
 		if v, ok := s.cache.Get(key); ok {
 			return GroupByResponse{Estimator: ent.Name, Version: ent.Snapshot, Groups: v.([]GroupRow), Cached: true}, nil
 		}
