@@ -26,6 +26,9 @@
 // With -routers a,b,... requests rotate round-robin across several
 // summaryrouter front-ends of the same fleet (schema discovery still uses
 // -addr), measuring a sharded routing tier the way clients would drive it.
+// -routers cannot combine with -ingest-every: a router only fences its own
+// proxied writes, so spreading ingest across routers would leave every
+// other router's read cache serving stale hits (docs/FLEET.md).
 //
 //	go run ./cmd/summaryd &
 //	go run ./cmd/loadgen -addr http://localhost:8080 -estimator demo/maxent -requests 2000
@@ -67,7 +70,7 @@ func main() {
 		wire        = flag.String("wire", "json", "batch encoding: json or binary (requires -batch > 1)")
 		version     = flag.Int("version", 0, "answer every query from this retained snapshot version (0 = live estimators)")
 		versionMix  = flag.String("version-mix", "", "comma-separated snapshot versions cycled across requests, 0 meaning live (e.g. 0,1,2) — a mixed live/time-travel workload")
-		routers     = flag.String("routers", "", "comma-separated base URLs fronting the same fleet; requests rotate round-robin across them (-addr still serves schema discovery)")
+		routers     = flag.String("routers", "", "comma-separated base URLs fronting the same fleet; requests rotate round-robin across them (-addr still serves schema discovery; incompatible with -ingest-every)")
 	)
 	flag.Parse()
 	if *queries <= 0 {

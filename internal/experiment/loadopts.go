@@ -56,6 +56,12 @@ func (o *LoadOptions) Validate() error {
 		if o.Version > 0 || len(o.VersionMix) > 0 {
 			return fmt.Errorf("experiment: versioned reads and an ingest mix are mutually exclusive (snapshots are immutable)")
 		}
+		if len(o.Routers) > 0 {
+			// A router only fences its own proxied writes: rotating ingest
+			// across routers would leave every other router's read cache
+			// serving stale hits (docs/FLEET.md, "the contract's boundary").
+			return fmt.Errorf("experiment: an ingest mix cannot rotate across routers (a write through one router leaves the others' read caches unfenced); drop -routers or the ingest mix")
+		}
 	}
 	for i, u := range o.Routers {
 		if strings.TrimSpace(u) == "" {

@@ -61,6 +61,10 @@ func TestLoadOptionsValidate(t *testing.T) {
 		{"routers with batch", LoadOptions{Batch: 16, Routers: []string{"http://a:8090"}}, ""},
 		{"empty router target", LoadOptions{Routers: []string{"http://a:8090", "  "}}, "is empty"},
 		{"non-URL router target", LoadOptions{Routers: []string{"a:8090"}}, "not a URL"},
+		// A write proxied by one router leaves every other router's read
+		// cache unfenced — rotating ingest across routers serves stale hits.
+		{"ingest with routers", LoadOptions{Routers: []string{"http://a:8090", "http://b:8090"}, Ingest: mix}, "cannot rotate across routers"},
+		{"dormant ingest with routers", LoadOptions{Routers: []string{"http://a:8090"}, Ingest: &IngestMix{Dataset: "demo"}}, ""},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate()

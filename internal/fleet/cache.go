@@ -101,7 +101,10 @@ type genState struct {
 //   - a routed write fences its dataset: floor = gen+1, which no already-
 //     issued response can satisfy, because a published write always swaps
 //     the estimator to a strictly higher generation than any answer the
-//     router has observed.
+//     router has observed. The fence also covers estimators the router
+//     has NEVER observed: their dataset is remembered as fenced, and the
+//     first generation seen afterwards is refused (it may be a lagging
+//     replica's pre-write answer) — only a strictly newer one is cached.
 //
 // Writes that bypass the router are invisible to it (same contract as
 // /sync/notify: the router is the write path). Snapshot reads never
@@ -109,9 +112,30 @@ type genState struct {
 type genTable struct {
 	mu sync.Mutex
 	m  map[string]*genState
+	// fenced remembers datasets a routed write has fenced, so estimators
+	// first observed AFTER the write start behind a floor too; all is the
+	// same flag for a fence of everything (unparseable write path).
+	fenced map[string]bool
+	all    bool
 }
 
-func newGenTable() *genTable { return &genTable{m: make(map[string]*genState)} }
+func newGenTable() *genTable {
+	return &genTable{m: make(map[string]*genState), fenced: make(map[string]bool)}
+}
+
+// fencedLocked reports whether any past fence covers the estimator name.
+// Callers hold t.mu.
+func (t *genTable) fencedLocked(name string) bool {
+	if t.all {
+		return true
+	}
+	for d := range t.fenced {
+		if name == d || strings.HasPrefix(name, d+"/") {
+			return true
+		}
+	}
+	return false
+}
 
 // observe records a node response's generation and reports whether an
 // answer at that generation may be cached: it must not predate the last
@@ -122,6 +146,12 @@ func (t *genTable) observe(name string, gen uint64) bool {
 	st := t.m[name]
 	if st == nil {
 		st = &genState{}
+		if t.fencedLocked(name) {
+			// A routed write predates every observation of this estimator:
+			// this answer cannot be proven post-write, so refuse it and
+			// admit only a strictly newer generation.
+			st.floor = gen + 1
+		}
 		t.m[name] = st
 	}
 	if gen < st.floor {
@@ -149,11 +179,17 @@ func (t *genTable) current(name string) (uint64, bool) {
 // fence marks every estimator of dataset as written-over: no cached live
 // answer may be served and no response at an already-seen generation may
 // be cached until a strictly newer generation is observed. An empty
-// dataset fences everything.
+// dataset fences everything. The dataset is also remembered so estimators
+// first observed after the write start fenced too (see observe).
 func (t *genTable) fence(dataset string) {
 	prefix := dataset + "/"
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if dataset == "" {
+		t.all = true
+	} else {
+		t.fenced[dataset] = true
+	}
 	for name, st := range t.m {
 		if dataset == "" || name == dataset || strings.HasPrefix(name, prefix) {
 			st.floor = st.gen + 1
@@ -283,16 +319,20 @@ func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request, body []byte,
 		select {
 		case <-fl.done:
 		case <-r.Context().Done():
-			writeError(w, http.StatusBadGateway, "canceled while awaiting an identical in-flight read")
+			// The CLIENT went away (disconnect or its own timeout), not the
+			// upstream: write nothing rather than misreport a gateway error.
 			return
 		}
-		if fl.ok {
+		// Re-verify at serve time, exactly like a cache hit: a routed write
+		// may have fenced the estimator between the leader storing the
+		// entry and this follower waking.
+		if fl.ok && rt.entryCurrent(req, fl.entry) {
 			rt.collapsed.Add(1)
 			writeCachedRead(w, fl.entry, rt.opts.Now().Sub(start))
 			return
 		}
-		// The leader's response was not cacheable (error, node behind);
-		// this read speaks to a node itself.
+		// The leader's response was not cacheable (error, node behind) or
+		// was fenced while we waited; this read speaks to a node itself.
 		rt.forward(w, r, body, -1)
 		return
 	}
@@ -304,20 +344,27 @@ func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request, body []byte,
 	entry, stored = rt.forwardCapture(w, r, body, req)
 }
 
+// entryCurrent reports whether a stored answer may be served for req
+// right now: snapshot reads are immutable, live reads must carry the
+// exact generation the table vouches for at this instant.
+func (rt *Router) entryCurrent(req readRequest, e cachedRead) bool {
+	if req.version > 0 {
+		return true
+	}
+	gen, ok := rt.gens.current(req.estimator)
+	return ok && e.gen == gen
+}
+
 // cacheLookup returns the cached answer for req when it is provably
-// current: snapshot reads are immutable, live reads must carry the exact
-// generation the table vouches for right now.
+// current under entryCurrent.
 func (rt *Router) cacheLookup(req readRequest) (cachedRead, bool) {
 	v, ok := rt.cache.Get(req.key)
 	if !ok {
 		return cachedRead{}, false
 	}
 	e := v.(cachedRead)
-	if req.version == 0 {
-		gen, ok := rt.gens.current(req.estimator)
-		if !ok || e.gen != gen {
-			return cachedRead{}, false
-		}
+	if !rt.entryCurrent(req, e) {
+		return cachedRead{}, false
 	}
 	return e, true
 }
@@ -325,7 +372,9 @@ func (rt *Router) cacheLookup(req readRequest) (cachedRead, bool) {
 // forwardCapture proxies the read like forward, relays the node response
 // to the client unchanged, and — on a 200 — parses and caches it under
 // the generation rules. It returns the stored entry for singleflight
-// followers.
+// followers. A response body larger than MaxBodyBytes is streamed to the
+// client whole and never cached: the cap bounds what the router buffers,
+// not what the client may receive.
 func (rt *Router) forwardCapture(w http.ResponseWriter, r *http.Request, body []byte, req readRequest) (cachedRead, bool) {
 	resp, n, herr := rt.roundTrip(r.Context(), r.Method, requestPath(r), r.Header, body, -1)
 	if herr != nil {
@@ -337,9 +386,18 @@ func (rt *Router) forwardCapture(w http.ResponseWriter, r *http.Request, body []
 		relayResponse(w, resp, n)
 		return cachedRead{}, false
 	}
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+	// Read one byte past the cap so an exactly-full buffer is
+	// distinguishable from a truncated one.
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err.Error())
+		return cachedRead{}, false
+	}
+	if int64(len(respBody)) > rt.opts.MaxBodyBytes {
+		relayHeaders(w, resp, n)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(respBody)
+		_, _ = io.Copy(w, resp.Body)
 		return cachedRead{}, false
 	}
 	relayBytes(w, resp, n, respBody)

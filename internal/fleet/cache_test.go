@@ -265,6 +265,74 @@ func TestRouterCacheEquivalenceAndHotSwap(t *testing.T) {
 	}
 }
 
+// TestRouterCacheOversizedResponseStreamsWhole guards against the cache
+// capture path truncating node responses: a 200 whose body exceeds the
+// router's MaxBodyBytes cap must reach the client COMPLETE (the cap
+// bounds what the router buffers, not what the client receives) and must
+// never be cached — while responses under the cap keep caching normally.
+func TestRouterCacheOversizedResponseStreamsWhole(t *testing.T) {
+	f := fleettest.New(t, fleettest.Options{
+		Nodes: 1,
+		Router: fleet.Options{
+			Timeout: 5 * time.Second,
+			// Small enough that a 48-group group-by response (~2 KB)
+			// overflows it while request bodies and match-all count
+			// responses stay under it.
+			MaxBodyBytes: 512,
+		},
+	})
+	primary := f.Primary().URL()
+	routed := f.RouterURL()
+	est := "demo/maxent"
+
+	// The oversized read: group-by over attrs 1 and 3 (domains 6 x 8 = 48
+	// rows). Direct answer first, as the bit-identity oracle.
+	greq := server.GroupByRequest{Estimator: est, GroupBy: []int{1, 3}}
+	var direct server.GroupByResponse
+	if s := postJSON(t, primary+"/groupby", greq, &direct); s != http.StatusOK {
+		t.Fatalf("direct groupby status %d", s)
+	}
+	if raw, _ := json.Marshal(direct); len(raw) <= 512 {
+		t.Fatalf("fixture too small: direct response is %d bytes, need > MaxBodyBytes=512", len(raw))
+	}
+	for ask := 1; ask <= 2; ask++ {
+		s, tag, raw := postTagged(t, routed+"/groupby", greq)
+		if s != http.StatusOK {
+			t.Fatalf("routed groupby ask %d: status %d: %s", ask, s, raw)
+		}
+		if tag == "hit" {
+			t.Fatalf("routed groupby ask %d: an oversized response was served from the cache", ask)
+		}
+		var got server.GroupByResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("routed groupby ask %d: body is not complete JSON (truncated relay?): %v", ask, err)
+		}
+		sameGroups(t, fmt.Sprintf("oversized ask %d", ask), direct.Groups, got.Groups)
+	}
+
+	// A read under the cap still caches: the second ask is a router hit.
+	qreq := server.QueryRequest{Estimator: est}
+	var directQ server.QueryResponse
+	if s := postJSON(t, primary+"/query", qreq, &directQ); s != http.StatusOK {
+		t.Fatalf("direct query status %d", s)
+	}
+	if s, _, _ := postTagged(t, routed+"/query", qreq); s != http.StatusOK {
+		t.Fatalf("routed query status %d", s)
+	}
+	s, tag, raw := postTagged(t, routed+"/query", qreq)
+	if s != http.StatusOK {
+		t.Fatalf("routed query repeat status %d", s)
+	}
+	if tag != "hit" {
+		t.Fatal("an under-cap read did not cache with a small MaxBodyBytes")
+	}
+	var gotQ server.QueryResponse
+	if err := json.Unmarshal(raw, &gotQ); err != nil {
+		t.Fatal(err)
+	}
+	sameCount(t, "under-cap hit", directQ.Count, gotQ.Count)
+}
+
 // TestRouterSingleflightCollapse proves the duplicate-suppression
 // guarantee: N concurrent identical cold reads cost the fleet exactly ONE
 // node round trip. The node-side request counters are the ground truth —

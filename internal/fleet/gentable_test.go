@@ -1,0 +1,53 @@
+package fleet
+
+import "testing"
+
+// TestGenTableFencesUnseenEstimators pins the fence-before-first-read
+// corner of the freshness invariant: a routed write to a dataset whose
+// estimators the router has never observed must still fence them, so a
+// lagging replica's pre-write answer arriving afterwards is refused and
+// only a strictly newer generation re-opens caching.
+func TestGenTableFencesUnseenEstimators(t *testing.T) {
+	tb := newGenTable()
+
+	// The write lands before any read: nothing is in the table yet.
+	tb.fence("demo")
+
+	// A lagging replica answers first — possibly pre-write; refuse it.
+	if tb.observe("demo/maxent", 3) {
+		t.Fatal("first post-fence observation of an unseen estimator was admitted to the cache")
+	}
+	if _, ok := tb.current("demo/maxent"); ok {
+		t.Fatal("current vouched for a fenced, never-cached estimator")
+	}
+	// The same generation keeps being refused — it is never provably fresh.
+	if tb.observe("demo/maxent", 3) {
+		t.Fatal("repeat observation at the fenced generation was admitted")
+	}
+	// A strictly newer generation proves the write was applied.
+	if !tb.observe("demo/maxent", 4) {
+		t.Fatal("a strictly newer generation was refused after the fence")
+	}
+	if gen, ok := tb.current("demo/maxent"); !ok || gen != 4 {
+		t.Fatalf("current = (%d, %t), want (4, true)", gen, ok)
+	}
+
+	// The fence covers the dataset name itself, not just prefixed entries.
+	if tb.observe("demo", 7) {
+		t.Fatal("the dataset's own entry escaped the fence")
+	}
+	// Unrelated datasets are untouched by a scoped fence.
+	if !tb.observe("other/maxent", 1) {
+		t.Fatal("a scoped fence leaked onto an unrelated dataset")
+	}
+
+	// A fence of everything (unparseable write path) covers names first
+	// observed afterwards too.
+	tb.fence("")
+	if tb.observe("third/maxent", 5) {
+		t.Fatal("a fence-everything write did not fence a later-observed estimator")
+	}
+	if !tb.observe("third/maxent", 6) {
+		t.Fatal("a strictly newer generation was refused after the global fence")
+	}
+}
